@@ -1,0 +1,73 @@
+// ablation_component_tracking.cpp -- reproduces the Section 3.1
+// argument: a healer that ignores connected-component information pays
+// d-2 extra degrees per deletion and concentrates O(n) degree increase,
+// while the component-aware healers stay polylogarithmic.
+//
+// GraphHeal is exactly "DASH minus component tracking minus delta
+// ordering"; BinaryTreeHeal is "DASH minus delta ordering". Comparing
+// the three isolates what component tracking buys.
+#include <cmath>
+#include <iostream>
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using dash::analysis::ScheduleResult;
+
+  dash::bench::FigureOptions fo;
+  fo.instances = 8;
+  fo.max_n = 512;
+  if (!fo.parse(argc, argv,
+                "Ablation: component tracking (Sec 3.1) -- GraphHeal vs "
+                "BinaryTreeHeal vs DASH")) {
+    return fo.help ? 0 : 2;
+  }
+
+  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
+  const std::vector<std::string> names{"GraphHeal", "BinaryTreeHeal",
+                                       "DASH"};
+  const std::vector<std::string> keys{"graph", "binarytree", "dash"};
+
+  dash::analysis::ScheduleConfig sched;
+  std::vector<dash::bench::SeriesPoint> points;
+  std::vector<dash::bench::SeriesPoint> edge_points;
+  for (std::size_t n : fo.sizes()) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto proto = dash::core::make_strategy(keys[i]);
+      dash::bench::SeriesPoint p;
+      p.n = n;
+      p.strategy = names[i];
+      p.summary = dash::bench::run_cell(
+          fo, n, *proto, sched,
+          [](const ScheduleResult& r) {
+            return static_cast<double>(r.max_delta);
+          },
+          &pool);
+      points.push_back(p);
+
+      dash::bench::SeriesPoint e;
+      e.n = n;
+      e.strategy = names[i];
+      e.summary = dash::bench::run_cell(
+          fo, n, *proto, sched,
+          [](const ScheduleResult& r) {
+            return static_cast<double>(r.edges_added);
+          },
+          &pool);
+      edge_points.push_back(e);
+    }
+    std::fprintf(stderr, "  done n=%zu\n", n);
+  }
+
+  dash::bench::print_figure(
+      "Ablation (Sec 3.1): max degree increase without/with component "
+      "tracking",
+      fo, names, points, "max_degree_increase");
+  dash::bench::print_figure(
+      "Ablation (Sec 3.1): total healing edges added over the schedule",
+      fo, names, edge_points, "edges_added");
+  std::cout << "\nexpected: GraphHeal adds ~d-2 degrees per deletion "
+               "(grows with n);\ncomponent-aware healers add the minimum "
+               "needed and stay ~2log2(n).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ablation_leaf_placement.cpp -- design ablation: DASH's delta-ordered
+// placement (most-burdened nodes become RT leaves) vs the same healer
+// with id-ordered (delta-oblivious) placement, i.e. BinaryTreeHeal.
+//
+// This isolates the single design choice that turns the naive
+// component-aware healer into DASH and shows it is what buys the
+// 2 log2 n guarantee in practice.
+#include <cmath>
+#include <iostream>
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using dash::analysis::ScheduleResult;
+
+  dash::bench::FigureOptions fo;
+  fo.instances = 8;
+  if (!fo.parse(argc, argv,
+                "Ablation: delta-ordered leaf placement (DASH) vs "
+                "id-ordered placement (BinaryTreeHeal)")) {
+    return fo.help ? 0 : 2;
+  }
+
+  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
+  const std::vector<std::string> names{"delta-ordered(DASH)",
+                                       "id-ordered(BinaryTreeHeal)"};
+  const std::vector<std::string> keys{"dash", "binarytree"};
+
+  dash::analysis::ScheduleConfig sched;
+  std::vector<dash::bench::SeriesPoint> points;
+  for (std::size_t n : fo.sizes()) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto proto = dash::core::make_strategy(keys[i]);
+      dash::bench::SeriesPoint p;
+      p.n = n;
+      p.strategy = names[i];
+      p.summary = dash::bench::run_cell(
+          fo, n, *proto, sched,
+          [](const ScheduleResult& r) {
+            return static_cast<double>(r.max_delta);
+          },
+          &pool);
+      points.push_back(p);
+    }
+    std::fprintf(stderr, "  done n=%zu\n", n);
+  }
+
+  dash::bench::print_figure(
+      "Ablation: RT placement policy vs max degree increase", fo, names,
+      points, "max_degree_increase");
+  std::cout << "\nexpected: both are O(polylog); delta-ordering keeps "
+               "DASH at/below 2log2(n) while id-ordering drifts above "
+               "it as n grows.\n";
+  return 0;
+}

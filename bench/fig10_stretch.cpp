@@ -1,0 +1,76 @@
+// fig10_stretch.cpp -- reproduces Figure 10: "Stretch for various
+// algorithms".
+//
+// Workload (Sec. 4.6.3): the MaxNode attack (the most effective against
+// stretch), Barabasi-Albert graphs, stretch = max over alive pairs of
+// dist_healed / dist_original. Stretch is O(n*m) per sample, so this
+// bench uses smaller sizes than Fig. 8 and deletes half the nodes,
+// sampling every few rounds (configurable).
+//
+// Expected shape: the naive high-degree healers (GraphHeal) keep stretch
+// near 1 (they add many shortcut edges); DASH alone drifts higher;
+// SDASH stays close to the naive healers while also keeping degrees low.
+#include <cmath>
+#include <iostream>
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using dash::analysis::ScheduleResult;
+
+  dash::bench::FigureOptions fo;
+  fo.min_n = 32;
+  fo.max_n = 256;
+  fo.attack = "maxnode";
+  fo.instances = 5;
+  std::uint64_t sample_every = 4;
+  {
+    // Extend the common flags with the sampling interval.
+    dash::util::Options opt(
+        "Figure 10: stretch vs graph size (MaxNode attack)");
+    opt.add_uint("instances", &fo.instances, "instances per point");
+    opt.add_uint("seed", &fo.seed, "base RNG seed");
+    opt.add_uint("min-n", &fo.min_n, "smallest graph size");
+    opt.add_uint("max-n", &fo.max_n, "largest graph size");
+    opt.add_uint("ba-edges", &fo.ba_edges, "BA attachment edges");
+    opt.add_string("attack", &fo.attack, "attack strategy");
+    opt.add_string("csv", &fo.csv_path, "optional CSV output path");
+    opt.add_uint("threads", &fo.threads, "worker threads");
+    opt.add_uint("sample-every", &sample_every,
+                 "sample stretch every k-th deletion");
+    if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
+  }
+
+  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
+  const auto strategies = dash::core::paper_strategies();
+  std::vector<std::string> names;
+  for (const auto& s : strategies) names.push_back(s->name());
+
+  std::vector<dash::bench::SeriesPoint> points;
+  for (std::size_t n : fo.sizes()) {
+    dash::analysis::ScheduleConfig sched;
+    sched.track_stretch = true;
+    sched.stretch_sample_every = static_cast<std::size_t>(sample_every);
+    sched.max_deletions = n / 2;  // half the nodes, as degree stays sane
+    for (const auto& strat : strategies) {
+      dash::bench::SeriesPoint p;
+      p.n = n;
+      p.strategy = strat->name();
+      p.summary = dash::bench::run_cell(
+          fo, n, *strat, sched,
+          [](const ScheduleResult& r) { return r.max_stretch; }, &pool);
+      points.push_back(std::move(p));
+      std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
+                   strat->name().c_str());
+    }
+  }
+
+  dash::bench::print_figure(
+      "Figure 10: max stretch vs graph size (max over sampled rounds)",
+      fo, names, points, "max_stretch");
+  std::cout << "\nreference: log2(n):\n";
+  for (std::size_t n : fo.sizes()) {
+    std::cout << "  n=" << n << "  log2(n)=" << std::log2(double(n)) << "\n";
+  }
+  return 0;
+}

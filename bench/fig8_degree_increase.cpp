@@ -1,0 +1,33 @@
+// fig8_degree_increase.cpp -- reproduces Figure 8: "Maximum Degree
+// increase: DASH vs other algorithms".
+//
+// Workload (Sec. 4.1/4.4): Barabasi-Albert graphs, NeighborOfMax attack
+// (the strategy that consistently produced the highest degree increase),
+// delete until the graph is gone, average the max degree increase over
+// random instances, sweep graph size.
+//
+// Expected shape: GraphHeal and LineHeal grow steeply (superlogarithmic),
+// BinaryTreeHeal in between, DASH and SDASH below 2 log2 n.
+#include <cmath>
+#include <iostream>
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using dash::analysis::ScheduleResult;
+  const int rc = dash::bench::run_strategy_sweep_figure(
+      argc, argv,
+      "Figure 8: maximum degree increase vs graph size",
+      "max_degree_increase",
+      [](const ScheduleResult& r) {
+        return static_cast<double>(r.max_delta);
+      });
+  if (rc == 0) {
+    std::cout << "\nreference: 2*log2(n) bound for DASH:\n";
+    for (std::size_t n = 64; n <= 1024; n *= 2) {
+      std::cout << "  n=" << n << "  2log2(n)=" << 2.0 * std::log2(double(n))
+                << "\n";
+    }
+  }
+  return rc;
+}

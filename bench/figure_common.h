@@ -1,0 +1,194 @@
+// figure_common.h -- shared machinery for the figure-reproduction
+// benches: size sweeps over Barabasi-Albert graphs, multi-instance
+// averaging (Sec. 4.1 methodology), and paper-style table output.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "attack/factory.h"
+#include "core/factory.h"
+#include "graph/generators.h"
+#include "util/ascii_plot.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dash::bench {
+
+struct FigureOptions {
+  std::uint64_t instances = 10;  ///< paper uses 30; CI default is lighter
+  std::uint64_t seed = 0x0DA5Bu;
+  std::uint64_t min_n = 64;
+  std::uint64_t max_n = 1024;
+  std::uint64_t ba_edges = 2;  ///< BA attachment edges per node
+  std::string attack = "neighborofmax";
+  std::string csv_path;  ///< optional CSV dump
+  std::uint64_t threads = 0;
+  bool help = false;  ///< set when --help was given
+
+  /// Parse common flags; returns false if the program should exit
+  /// (check `help` to distinguish --help from a parse error).
+  bool parse(int argc, char** argv, const std::string& description) {
+    dash::util::Options opt(description);
+    opt.add_uint("instances", &instances,
+                 "random graph instances per data point (paper: 30)");
+    opt.add_uint("seed", &seed, "base RNG seed");
+    opt.add_uint("min-n", &min_n, "smallest graph size");
+    opt.add_uint("max-n", &max_n, "largest graph size (doubling sweep)");
+    opt.add_uint("ba-edges", &ba_edges, "BA attachment edges per node");
+    opt.add_string("attack", &attack, "attack strategy");
+    opt.add_string("csv", &csv_path, "optional path for CSV output");
+    opt.add_uint("threads", &threads,
+                 "worker threads (0 = hardware concurrency)");
+    const bool ok = opt.parse(argc, argv);
+    help = opt.help_requested();
+    return ok;
+  }
+
+  std::vector<std::size_t> sizes() const {
+    std::vector<std::size_t> out;
+    for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
+      out.push_back(static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+};
+
+/// One figure data point: per-strategy summary of a metric at size n.
+using MetricFn = std::function<double(const analysis::ScheduleResult&)>;
+
+struct SeriesPoint {
+  std::size_t n = 0;
+  std::string strategy;
+  dash::util::Summary summary;
+};
+
+/// Run the Sec. 4.1 methodology for one (n, strategy) cell.
+inline dash::util::Summary run_cell(const FigureOptions& fo, std::size_t n,
+                                    const core::HealingStrategy& proto,
+                                    const analysis::ScheduleConfig& sched,
+                                    const MetricFn& metric,
+                                    dash::util::ThreadPool* pool) {
+  analysis::InstanceConfig cfg;
+  const std::size_t ba_m = static_cast<std::size_t>(fo.ba_edges);
+  cfg.make_graph = [n, ba_m](dash::util::Rng& rng) {
+    return graph::barabasi_albert(n, ba_m, rng);
+  };
+  const std::string attack_name = fo.attack;
+  cfg.make_attack = [attack_name](std::uint64_t seed) {
+    return attack::make_attack(attack_name, seed);
+  };
+  cfg.healer = &proto;
+  cfg.instances = static_cast<std::size_t>(fo.instances);
+  cfg.base_seed = fo.seed ^ (n * 0x9E3779B97F4A7C15ULL);
+  cfg.schedule = sched;
+  const auto results = analysis::run_instances(cfg, pool);
+  return analysis::summarize_metric(results, metric);
+}
+
+/// Print one figure: rows = sizes, one column per strategy (mean of the
+/// metric, the same series the paper plots), plus an optional CSV dump
+/// with mean/stddev/min/max per cell.
+inline void print_figure(
+    const std::string& title, const FigureOptions& fo,
+    const std::vector<std::string>& strategy_names,
+    const std::vector<SeriesPoint>& points,
+    const std::string& metric_name) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "attack=" << fo.attack << " instances=" << fo.instances
+            << " ba_edges=" << fo.ba_edges << " metric=" << metric_name
+            << "\n\n";
+
+  std::vector<std::string> header{"n"};
+  header.insert(header.end(), strategy_names.begin(), strategy_names.end());
+  dash::util::Table table(header);
+  for (std::size_t n : fo.sizes()) {
+    table.begin_row();
+    table.cell(std::to_string(n));
+    for (const auto& strat : strategy_names) {
+      for (const auto& p : points) {
+        if (p.n == n && p.strategy == strat) {
+          table.cell(p.summary.mean, 2);
+          break;
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Draw the figure itself, one marker per strategy.
+  std::vector<std::string> x_labels;
+  for (std::size_t n : fo.sizes()) x_labels.push_back(std::to_string(n));
+  std::vector<dash::util::Series> plot_series;
+  for (const auto& strat : strategy_names) {
+    dash::util::Series s;
+    s.label = strat;
+    for (std::size_t n : fo.sizes()) {
+      for (const auto& p : points) {
+        if (p.n == n && p.strategy == strat) {
+          s.y.push_back(p.summary.mean);
+          break;
+        }
+      }
+    }
+    if (s.y.size() == x_labels.size()) plot_series.push_back(std::move(s));
+  }
+  if (!plot_series.empty() && x_labels.size() >= 2) {
+    std::cout << '\n';
+    dash::util::ascii_plot(std::cout, x_labels, plot_series);
+  }
+
+  if (!fo.csv_path.empty()) {
+    std::ofstream out(fo.csv_path);
+    dash::util::CsvWriter csv(
+        out, {"n", "strategy", "metric", "mean", "stddev", "min", "max",
+              "median", "instances"});
+    for (const auto& p : points) {
+      csv.write(p.n, p.strategy, metric_name, p.summary.mean,
+                p.summary.stddev, p.summary.min, p.summary.max,
+                p.summary.median, p.summary.count);
+    }
+    std::cout << "\nCSV written to " << fo.csv_path << "\n";
+  }
+}
+
+/// Full driver shared by Fig. 8 / 9(a) / 9(b): sweep sizes x the paper's
+/// five strategies and report `metric`.
+inline int run_strategy_sweep_figure(int argc, char** argv,
+                                     const std::string& title,
+                                     const std::string& metric_name,
+                                     const MetricFn& metric,
+                                     FigureOptions fo = {}) {
+  if (!fo.parse(argc, argv, title)) return fo.help ? 0 : 2;
+
+  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
+  const auto strategies = core::paper_strategies();
+  std::vector<std::string> names;
+  for (const auto& s : strategies) names.push_back(s->name());
+
+  analysis::ScheduleConfig sched;  // full deletion, no invariants
+  std::vector<SeriesPoint> points;
+  for (std::size_t n : fo.sizes()) {
+    for (const auto& strat : strategies) {
+      SeriesPoint p;
+      p.n = n;
+      p.strategy = strat->name();
+      p.summary = run_cell(fo, n, *strat, sched, metric, &pool);
+      points.push_back(std::move(p));
+      std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
+                   strat->name().c_str());
+    }
+  }
+  print_figure(title, fo, names, points, metric_name);
+  return 0;
+}
+
+}  // namespace dash::bench

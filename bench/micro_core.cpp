@@ -1,0 +1,143 @@
+// micro_core.cpp -- google-benchmark microbenchmarks of the data
+// structures on the healing hot path: graph mutation, BFS, union-find,
+// generators, one DASH heal step, and full schedules per size.
+#include <benchmark/benchmark.h>
+
+#include "attack/factory.h"
+#include "core/factory.h"
+#include "core/healing_state.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "graph/union_find.h"
+#include "util/rng.h"
+
+namespace {
+
+using dash::core::DeletionContext;
+using dash::core::HealingState;
+using dash::graph::Graph;
+using dash::graph::NodeId;
+using dash::util::Rng;
+
+void BM_GraphAddRemoveEdge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Graph g(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto a = static_cast<NodeId>(rng.below(n));
+    auto b = static_cast<NodeId>(rng.below(n));
+    if (a == b) b = (b + 1) % n;
+    if (g.add_edge(a, b)) {
+      g.remove_edge(a, b);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphAddRemoveEdge)->Arg(1024)->Arg(16384);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Graph g = dash::graph::barabasi_albert(n, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dash::graph::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BfsDistances)->Arg(1024)->Arg(8192);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    dash::graph::UnionFind uf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      uf.unite(static_cast<NodeId>(rng.below(n)),
+               static_cast<NodeId>(rng.below(n)));
+    }
+    benchmark::DoNotOptimize(uf.num_sets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionFind)->Arg(4096);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dash::graph::barabasi_albert(n, 2, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(1024)->Arg(8192);
+
+void BM_DashHealStep(benchmark::State& state) {
+  // Cost of one deletion+heal on a star (the worst reconnection-set
+  // size for a single heal).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = dash::graph::star_graph(k + 1);
+    Rng rng(5);
+    HealingState st(g, rng);
+    auto healer = dash::core::make_strategy("dash");
+    state.ResumeTiming();
+    const DeletionContext ctx = st.begin_deletion(g, 0);
+    g.delete_node(0);
+    healer->heal(g, st, ctx);
+    benchmark::DoNotOptimize(st.max_delta_ever());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_DashHealStep)->Arg(64)->Arg(512);
+
+void BM_FullSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const char* names[] = {"dash", "sdash", "graph"};
+  const char* healer_name = names[state.range(1)];
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(6);
+    Graph g = dash::graph::barabasi_albert(n, 2, rng);
+    HealingState st(g, rng);
+    auto attacker = dash::attack::make_attack("neighborofmax", 7);
+    auto healer = dash::core::make_strategy(healer_name);
+    state.ResumeTiming();
+    while (g.num_alive() > 1) {
+      const NodeId v = attacker->select(g, st);
+      const DeletionContext ctx = st.begin_deletion(g, v);
+      g.delete_node(v);
+      healer->heal(g, st, ctx);
+    }
+    benchmark::DoNotOptimize(st.max_delta_ever());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(healer_name);
+}
+BENCHMARK(BM_FullSchedule)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({1024, 0});
+
+void BM_MinIdPropagation(benchmark::State& state) {
+  // Propagation cost over a long healing chain.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g(n);
+    Rng rng(7);
+    HealingState st(g, rng);
+    std::vector<NodeId> chain;
+    for (NodeId v = 1; v < n; ++v) st.add_healing_edge(g, v - 1, v);
+    for (NodeId v = 0; v < n; ++v) chain.push_back(v);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(st.propagate_min_id(g, chain));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MinIdPropagation)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// thm1_bounds.cpp -- checks every quantitative bullet of Theorem 1
+// empirically and reports measured-vs-bound ratios:
+//
+//   * delta(v) <= 2 log2 n  (max degree increase)
+//   * messages per node <= 2 (d + 2 log2 n) ln n
+//   * id changes per node <= 2 ln n (record breaking)
+//   * reconnection latency O(1) and amortized id-propagation latency
+//     O(log n) -- measured on the distributed simulator.
+#include <cmath>
+#include <iostream>
+
+#include "figure_common.h"
+#include "graph/metrics.h"
+#include "sim/distributed_dash.h"
+
+namespace {
+
+using dash::analysis::ScheduleResult;
+using dash::graph::Graph;
+using dash::graph::NodeId;
+
+/// Worst measured/bound ratio for the per-node message bound.
+double worst_message_ratio(const Graph& original,
+                           const dash::core::HealingState& st,
+                           std::size_t n) {
+  const double log2n = std::log2(static_cast<double>(n));
+  const double lnn = std::log(static_cast<double>(n));
+  double worst = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double d = static_cast<double>(st.initial_degree(v));
+    const double bound = 2.0 * (d + 2.0 * log2n) * lnn;
+    if (bound > 0.0) {
+      worst = std::max(
+          worst, static_cast<double>(st.messages_total(v)) / bound);
+    }
+  }
+  (void)original;
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dash::bench::FigureOptions fo;
+  fo.instances = 5;
+  if (!fo.parse(argc, argv,
+                "Theorem 1 bound check: measured vs proven bounds")) {
+    return fo.help ? 0 : 2;
+  }
+
+  std::cout << "\n== Theorem 1: measured / bound ratios (DASH, " << fo.attack
+            << " attack, " << fo.instances << " instances) ==\n\n";
+  dash::util::Table table({"n", "max_delta", "2log2n", "delta_ratio",
+                           "msg_ratio", "idchg_ratio", "reconnect_rounds",
+                           "mean_prop_rounds", "log2n"});
+
+  for (std::size_t n : fo.sizes()) {
+    double worst_delta = 0, worst_msg = 0, worst_idchg = 0;
+    double max_reconnect = 0, mean_prop = 0;
+    for (std::size_t inst = 0; inst < fo.instances; ++inst) {
+      dash::util::Rng seeder(fo.seed ^ (n * 0x9E3779B97F4A7C15ULL));
+      dash::util::Rng rng = seeder.fork(inst + 1);
+      Graph g = dash::graph::barabasi_albert(
+          n, static_cast<std::size_t>(fo.ba_edges), rng);
+      const Graph original = g;
+      dash::core::HealingState st(g, rng);
+      auto attacker =
+          dash::attack::make_attack(fo.attack, rng.next_u64());
+      auto healer = dash::core::make_strategy("dash");
+      dash::analysis::ScheduleConfig sched;
+      const auto r =
+          dash::analysis::run_schedule(g, st, *attacker, *healer, sched);
+
+      const double log2n = std::log2(static_cast<double>(n));
+      const double lnn = std::log(static_cast<double>(n));
+      worst_delta = std::max(
+          worst_delta, static_cast<double>(r.max_delta) / (2.0 * log2n));
+      worst_msg = std::max(worst_msg, worst_message_ratio(original, st, n));
+      worst_idchg =
+          std::max(worst_idchg,
+                   static_cast<double>(st.max_id_changes()) / (2.0 * lnn));
+
+      // Distributed latency measurements on a fresh instance.
+      dash::util::Rng rng2 = seeder.fork(inst + 1);
+      Graph g2 = dash::graph::barabasi_albert(
+          n, static_cast<std::size_t>(fo.ba_edges), rng2);
+      dash::sim::DistributedDashSim sim(std::move(g2), rng2);
+      while (sim.network().num_alive() > 1) {
+        const NodeId hub = dash::graph::argmax_degree(sim.network());
+        sim.delete_and_heal(hub);
+      }
+      for (auto rr : sim.metrics().reconnect_rounds) {
+        max_reconnect = std::max(max_reconnect, static_cast<double>(rr));
+      }
+      mean_prop = std::max(mean_prop,
+                           sim.metrics().mean_propagation_rounds());
+    }
+    const double log2n = std::log2(static_cast<double>(n));
+    table.begin_row()
+        .cell(std::to_string(n))
+        .cell(worst_delta * 2.0 * log2n, 1)
+        .cell(2.0 * log2n, 1)
+        .cell(worst_delta, 3)
+        .cell(worst_msg, 3)
+        .cell(worst_idchg, 3)
+        .cell(max_reconnect, 0)
+        .cell(mean_prop, 2)
+        .cell(log2n, 2);
+    std::fprintf(stderr, "  done n=%zu\n", n);
+  }
+  table.print(std::cout);
+  std::cout << "\ndelta_ratio is a deterministic bound and must stay "
+               "<= 1.0.\nmsg_ratio and idchg_ratio are with-high-"
+               "probability bounds: expect ~<= 1.0, with small "
+               "excursions (<10%) possible at small n.\nreconnect_rounds "
+               "is the O(1) claim; mean_prop_rounds vs log2n is the "
+               "amortized O(log n) claim.\n";
+  return 0;
+}

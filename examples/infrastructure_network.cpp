@@ -1,0 +1,111 @@
+// infrastructure_network.cpp -- a hub-and-spoke infrastructure network
+// (an airline-style route map: a few regional hubs, many spokes, a
+// connected hub backbone) losing airports to closures.
+//
+// Shows the stretch/degree trade-off of Section 4.6: GraphHeal keeps
+// routes short but overloads airports; DASH caps airport load but
+// lengthens routes; SDASH balances both. Stretch here reads as "how
+// many extra hops a passenger flies after re-routing".
+#include <iostream>
+
+#include "analysis/stretch.h"
+#include "attack/basic.h"
+#include "core/factory.h"
+#include "core/healing_state.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/traversal.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using dash::core::DeletionContext;
+using dash::core::HealingState;
+using dash::graph::Graph;
+using dash::graph::NodeId;
+
+/// Hub-and-spoke: `hubs` fully meshed regional hubs, each serving
+/// `spokes` leaf airports.
+Graph make_route_map(std::size_t hubs, std::size_t spokes) {
+  Graph g(hubs + hubs * spokes);
+  for (NodeId a = 0; a < hubs; ++a) {
+    for (NodeId b = a + 1; b < hubs; ++b) g.add_edge(a, b);
+  }
+  NodeId next = static_cast<NodeId>(hubs);
+  for (NodeId h = 0; h < hubs; ++h) {
+    for (std::size_t s = 0; s < spokes; ++s) g.add_edge(h, next++);
+  }
+  return g;
+}
+
+struct Outcome {
+  double max_stretch = 1.0;
+  std::uint32_t max_delta = 0;
+  bool connected = true;
+};
+
+Outcome run(const std::string& healer_name, std::size_t hubs,
+            std::size_t spokes, std::size_t closures,
+            std::uint64_t seed) {
+  Graph g = make_route_map(hubs, spokes);
+  const dash::analysis::StretchTracker stretch(g);
+  dash::util::Rng rng(seed);
+  HealingState st(g, rng);
+  auto healer = dash::core::make_strategy(healer_name);
+  dash::attack::MaxNodeAttack atk;  // close the busiest airport first
+
+  Outcome out;
+  for (std::size_t k = 0; k < closures && g.num_alive() > 2; ++k) {
+    const NodeId victim = atk.select(g, st);
+    const DeletionContext ctx = st.begin_deletion(g, victim);
+    g.delete_node(victim);
+    healer->heal(g, st, ctx);
+    out.connected = out.connected && dash::graph::is_connected(g);
+    if (out.connected) {
+      out.max_stretch = std::max(out.max_stretch, stretch.max_stretch(g));
+    }
+  }
+  out.max_delta = st.max_delta_ever();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t hubs = 8, spokes = 24, closures = 12, seed = 11;
+  dash::util::Options opt(
+      "Airline route map: hub closures, re-routing policies compared");
+  opt.add_uint("hubs", &hubs, "number of meshed hub airports");
+  opt.add_uint("spokes", &spokes, "spoke airports per hub");
+  opt.add_uint("closures", &closures, "airport closures to simulate");
+  opt.add_uint("seed", &seed, "RNG seed");
+  if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
+
+  const std::size_t n = hubs + hubs * spokes;
+  std::cout << "route map: " << hubs << " hubs x " << spokes
+            << " spokes = " << n << " airports; closing " << closures
+            << " busiest airports\n\n";
+
+  dash::util::Table table({"re-routing", "stayed_connected", "max_stretch",
+                           "max_extra_routes_per_airport"});
+  for (const char* healer : {"graph", "line", "binarytree", "dash",
+                             "sdash"}) {
+    const auto o = run(healer, static_cast<std::size_t>(hubs),
+                       static_cast<std::size_t>(spokes),
+                       static_cast<std::size_t>(closures), seed);
+    table.begin_row()
+        .cell(healer)
+        .cell(o.connected ? "yes" : "NO")
+        .cell(o.max_stretch, 2)
+        .cell(std::to_string(o.max_delta));
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: max_stretch = worst hop inflation for any "
+               "surviving city pair;\nmax_extra_routes = new routes the "
+               "busiest airport had to absorb.\nSDASH keeps both small; "
+               "GraphHeal minimizes stretch by overloading airports;\n"
+               "DASH caps load but can lengthen routes.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// p2p_overlay.cpp -- a Skype-like peer-to-peer overlay under churn and
+// attack (the paper's motivating scenario: the 2007 Skype outage).
+//
+// Scenario: a power-law overlay of peers where "supernodes" (hubs) are
+// protected but their neighbors get taken down (the NeighborOfMax
+// adversary), interleaved with random peer churn. We compare no healing
+// vs DASH healing, reporting connectivity of the overlay, the largest
+// component, and the burden placed on surviving peers.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/recorder.h"
+#include "attack/basic.h"
+#include "core/dash.h"
+#include "core/no_heal.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/traversal.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using dash::core::DeletionContext;
+using dash::core::HealingState;
+using dash::graph::Graph;
+using dash::graph::NodeId;
+
+struct ChurnOutcome {
+  std::size_t rounds = 0;
+  std::size_t joins = 0;
+  std::size_t first_disconnect_round = 0;  ///< 0 = never disconnected
+  std::size_t final_largest_component = 0;
+  std::size_t final_alive = 0;
+  std::uint32_t max_delta = 0;
+};
+
+/// Realistic overlay churn: targeted deletions of supernode neighbors,
+/// organic random departures, and new peers joining (attaching to two
+/// random live peers), for `rounds` events total.
+ChurnOutcome run_overlay(std::size_t n, bool heal, std::size_t rounds,
+                         std::uint64_t seed) {
+  dash::util::Rng rng(seed);
+  Graph g = dash::graph::barabasi_albert(n, 3, rng);
+  HealingState st(g, rng);
+  dash::attack::NeighborOfMaxAttack targeted(seed);
+  dash::attack::RandomAttack departures(seed + 1);
+  dash::util::Rng join_rng(seed + 2);
+  dash::core::DashStrategy dash_heal;
+  dash::core::NoHealStrategy no_heal;
+  dash::core::HealingStrategy& healer =
+      heal ? static_cast<dash::core::HealingStrategy&>(dash_heal)
+           : static_cast<dash::core::HealingStrategy&>(no_heal);
+
+  ChurnOutcome out;
+  for (std::size_t round = 0; round < rounds && g.num_alive() > 1;
+       ++round) {
+    if (round % 5 == 4) {
+      // A new peer joins, bootstrapping off two random live peers.
+      auto alive = g.alive_nodes();
+      join_rng.shuffle(alive);
+      std::vector<NodeId> targets(
+          alive.begin(),
+          alive.begin() + std::min<std::size_t>(2, alive.size()));
+      st.join_node(g, targets);
+      ++out.joins;
+      continue;
+    }
+    // Otherwise a peer disappears: 2/3 targeted sabotage, 1/3 organic.
+    dash::attack::AttackStrategy& atk =
+        (round % 3 == 2)
+            ? static_cast<dash::attack::AttackStrategy&>(departures)
+            : static_cast<dash::attack::AttackStrategy&>(targeted);
+    const NodeId victim = atk.select(g, st);
+    if (victim == dash::graph::kInvalidNode) break;
+    const DeletionContext ctx = st.begin_deletion(g, victim);
+    g.delete_node(victim);
+    healer.heal(g, st, ctx);
+    ++out.rounds;
+    if (out.first_disconnect_round == 0 &&
+        !dash::graph::is_connected(g)) {
+      out.first_disconnect_round = out.rounds;
+    }
+  }
+  out.final_alive = g.num_alive();
+  out.final_largest_component =
+      dash::graph::connected_components(g).largest();
+  out.max_delta = st.max_delta_ever();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 500, seed = 2007, rounds = 400;
+  dash::util::Options opt(
+      "P2P overlay under supernode-neighbor attack + churn");
+  opt.add_uint("n", &n, "number of peers");
+  opt.add_uint("rounds", &rounds, "deletions to simulate");
+  opt.add_uint("seed", &seed, "RNG seed");
+  if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
+
+  std::cout << "P2P overlay: " << n << " peers, " << rounds
+            << " churn events (deletions 2/3 targeted at supernode "
+               "neighbors, 1/3 organic; every 5th event a new peer "
+               "joins)\n\n";
+
+  dash::util::Table table({"healing", "deletions", "joins",
+                           "first_disconnect", "final_alive",
+                           "largest_component", "max_degree_increase"});
+  for (const bool heal : {false, true}) {
+    const auto o = run_overlay(static_cast<std::size_t>(n), heal,
+                               static_cast<std::size_t>(rounds), seed);
+    table.begin_row()
+        .cell(heal ? "DASH" : "none")
+        .cell(std::to_string(o.rounds))
+        .cell(std::to_string(o.joins))
+        .cell(o.first_disconnect_round == 0
+                  ? "never"
+                  : std::to_string(o.first_disconnect_round))
+        .cell(std::to_string(o.final_alive))
+        .cell(std::to_string(o.final_largest_component))
+        .cell(std::to_string(o.max_delta));
+  }
+  table.print(std::cout);
+  std::cout << "\nWithout healing the overlay shatters almost "
+               "immediately; with DASH every surviving peer remains "
+               "reachable and no peer's degree grows beyond "
+               "2 log2(n).\n";
+  return 0;
+}

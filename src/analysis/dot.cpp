@@ -1,0 +1,56 @@
+#include "analysis/dot.h"
+
+#include <algorithm>
+
+namespace dash::analysis {
+
+using graph::Graph;
+using graph::NodeId;
+
+void write_dot(std::ostream& out, const Graph& g,
+               const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    out << "  n" << v;
+    if (options.show_node_ids) out << " [label=\"" << v << "\"]";
+    out << ";\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (v < u) out << "  n" << v << " -- n" << u << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_dot_with_healing(std::ostream& out, const Graph& g,
+                            const core::HealingState& state,
+                            const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    out << "  n" << v << " [label=\"" << v << "\\nd=" << state.delta(v)
+        << "\"];\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    const auto& forest = state.forest_neighbors(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (v >= u) continue;
+      const bool healing =
+          std::find(forest.begin(), forest.end(), u) != forest.end();
+      out << "  n" << v << " -- n" << u << " [color="
+          << (healing ? options.healing_edge_color
+                      : options.organic_edge_color);
+      if (healing) out << " penwidth=2";
+      out << "];\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace dash::analysis

@@ -1,0 +1,32 @@
+// dot.h -- GraphViz DOT export for networks and healing forests, so
+// repair topologies can be inspected visually (examples write .dot
+// files; render with `dot -Tsvg`).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/healing_state.h"
+#include "graph/graph.h"
+
+namespace dash::analysis {
+
+struct DotOptions {
+  std::string graph_name = "network";
+  bool show_node_ids = true;
+  /// Color used for healing edges (E') in the overlay variant.
+  std::string healing_edge_color = "red";
+  std::string organic_edge_color = "gray40";
+};
+
+/// Write the alive subgraph as an undirected DOT graph.
+void write_dot(std::ostream& out, const graph::Graph& g,
+               const DotOptions& options = {});
+
+/// Write the alive subgraph with healing edges (E') highlighted and
+/// each node labeled "<id>\nd=<delta>".
+void write_dot_with_healing(std::ostream& out, const graph::Graph& g,
+                            const core::HealingState& state,
+                            const DotOptions& options = {});
+
+}  // namespace dash::analysis

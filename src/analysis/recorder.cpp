@@ -1,0 +1,19 @@
+#include "analysis/recorder.h"
+
+#include "util/csv.h"
+
+namespace dash::analysis {
+
+void Recorder::write_csv(std::ostream& out) const {
+  dash::util::CsvWriter csv(out, {"round", "deleted_node", "alive", "edges",
+                                  "edges_added", "max_delta",
+                                  "largest_component", "stretch"});
+  for (const auto& r : rows_) {
+    csv.write(r.round, static_cast<unsigned>(r.deleted_node), r.alive,
+              r.edges, r.edges_added, static_cast<unsigned>(r.max_delta),
+              r.largest_component,
+              r.stretch_sampled ? r.stretch : 0.0);
+  }
+}
+
+}  // namespace dash::analysis

@@ -1,0 +1,36 @@
+// recorder.h -- optional per-deletion time series for examples and
+// plots: what the network looked like after every deletion+heal round.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace dash::analysis {
+
+struct DeletionRecord {
+  std::size_t round = 0;          ///< 1-based deletion index
+  std::uint32_t deleted_node = 0;
+  std::size_t alive = 0;
+  std::size_t edges = 0;
+  std::size_t edges_added = 0;    ///< new graph edges this heal
+  std::uint32_t max_delta = 0;    ///< max delta ever, after this round
+  std::size_t largest_component = 0;
+  double stretch = 0.0;           ///< 0 when not sampled this round
+  bool stretch_sampled = false;
+};
+
+class Recorder {
+ public:
+  void add(const DeletionRecord& r) { rows_.push_back(r); }
+  const std::vector<DeletionRecord>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Dump as CSV (with header) for plotting.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<DeletionRecord> rows_;
+};
+
+}  // namespace dash::analysis

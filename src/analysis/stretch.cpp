@@ -1,0 +1,63 @@
+#include "analysis/stretch.h"
+
+#include <limits>
+
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace dash::analysis {
+
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+
+StretchTracker::StretchTracker(const Graph& original)
+    : n_(original.num_nodes()),
+      original_(graph::all_pairs_distances(original)) {
+  DASH_CHECK_MSG(graph::is_connected(original),
+                 "stretch baseline must be connected");
+}
+
+double StretchTracker::max_stretch(const Graph& healed) const {
+  DASH_CHECK(healed.num_nodes() == n_);
+  const auto alive = healed.alive_nodes();
+  if (alive.size() < 2) return 0.0;
+  double worst = 0.0;
+  for (NodeId u : alive) {
+    const auto dist = graph::bfs_distances(healed, u);
+    for (NodeId v : alive) {
+      if (v <= u) continue;
+      if (dist[v] == kUnreachable) {
+        return std::numeric_limits<double>::infinity();
+      }
+      const std::uint32_t base = original_[u * n_ + v];
+      DASH_CHECK(base != 0 && base != kUnreachable);
+      worst = std::max(worst, static_cast<double>(dist[v]) /
+                                  static_cast<double>(base));
+    }
+  }
+  return worst;
+}
+
+double StretchTracker::average_stretch(const Graph& healed) const {
+  DASH_CHECK(healed.num_nodes() == n_);
+  const auto alive = healed.alive_nodes();
+  if (alive.size() < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId u : alive) {
+    const auto dist = graph::bfs_distances(healed, u);
+    for (NodeId v : alive) {
+      if (v <= u) continue;
+      if (dist[v] == kUnreachable) {
+        return std::numeric_limits<double>::infinity();
+      }
+      sum += static_cast<double>(dist[v]) /
+             static_cast<double>(original_[u * n_ + v]);
+      ++pairs;
+    }
+  }
+  return pairs ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace dash::analysis

@@ -1,0 +1,43 @@
+// stretch.h -- the Section 4.6.1 stretch metric.
+//
+// stretch(u,v) = dist_healed(u,v) / dist_original(u,v); network stretch
+// is the maximum over alive pairs. Distances in the *original* network
+// are frozen at construction (deleted nodes still count as hops there,
+// exactly as in the paper, where the denominator is the time-0 network).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dash::graph {
+class Graph;
+}
+
+namespace dash::analysis {
+
+class StretchTracker {
+ public:
+  /// Snapshots all-pairs distances of `original` (must be connected).
+  /// O(n^2) memory -- intended for graphs up to a few thousand nodes.
+  explicit StretchTracker(const graph::Graph& original);
+
+  /// Maximum stretch over all alive pairs of `healed` (same node-id
+  /// space as the original). Returns 0 if fewer than 2 alive nodes and
+  /// +inf if some alive pair is disconnected.
+  double max_stretch(const graph::Graph& healed) const;
+
+  /// Average stretch over alive pairs (same conventions).
+  double average_stretch(const graph::Graph& healed) const;
+
+  std::uint32_t original_distance(graph::NodeId u, graph::NodeId v) const {
+    return original_[u * n_ + v];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> original_;  ///< row-major APSP matrix
+};
+
+}  // namespace dash::analysis

@@ -1,0 +1,36 @@
+#include "attack/factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attack/basic.h"
+
+namespace dash::attack {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+std::unique_ptr<AttackStrategy> make_attack(const std::string& name,
+                                            std::uint64_t seed) {
+  const std::string key = lower(name);
+  if (key == "maxnode" || key == "max")
+    return std::make_unique<MaxNodeAttack>();
+  if (key == "neighborofmax" || key == "nms")
+    return std::make_unique<NeighborOfMaxAttack>(seed);
+  if (key == "random") return std::make_unique<RandomAttack>(seed);
+  if (key == "minnode" || key == "min")
+    return std::make_unique<MinNodeAttack>();
+  if (key == "maxdelta") return std::make_unique<MaxDeltaAttack>();
+  throw std::invalid_argument("unknown attack strategy: " + name);
+}
+
+std::vector<std::string> attack_names() {
+  return {"maxnode", "neighborofmax", "random", "minnode", "maxdelta"};
+}
+
+}  // namespace dash::attack

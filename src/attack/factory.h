@@ -1,0 +1,21 @@
+// factory.h -- construct attack strategies by name (CLI-facing).
+// LEVELATTACK is excluded: it needs the k-ary tree metadata and is
+// constructed explicitly by the lower-bound bench.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/strategy.h"
+
+namespace dash::attack {
+
+/// Names: "maxnode", "neighborofmax" (alias "nms"), "random", "minnode",
+/// "maxdelta". Case-insensitive. Throws std::invalid_argument otherwise.
+std::unique_ptr<AttackStrategy> make_attack(const std::string& name,
+                                            std::uint64_t seed);
+
+std::vector<std::string> attack_names();
+
+}  // namespace dash::attack

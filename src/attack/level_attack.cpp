@@ -1,0 +1,97 @@
+#include "attack/level_attack.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace dash::attack {
+
+LevelAttack::LevelAttack(const graph::KaryTree& tree, std::uint32_t m)
+    : parent_(tree.parent), m_(m) {
+  DASH_CHECK_MSG(tree.arity == m + 2,
+                 "LEVELATTACK needs an (M+2)-ary tree");
+  // Plan: all nodes of level depth-1 first, then depth-2, ..., then the
+  // root (level 0). The leaf level is never deleted directly -- leaves
+  // die through Prune or survive carrying the degree increase.
+  for (std::size_t lvl = tree.depth; lvl-- > 0;) {
+    for (NodeId v = 0; v < tree.g.num_nodes(); ++v) {
+      if (tree.level[v] == lvl) plan_.push_back(v);
+    }
+  }
+}
+
+std::string LevelAttack::name() const {
+  return "LevelAttack(M=" + std::to_string(m_) + ")";
+}
+
+std::vector<NodeId> LevelAttack::current_children(const Graph& g,
+                                                  NodeId v) const {
+  std::vector<NodeId> kids;
+  for (NodeId u : g.neighbors(v)) {
+    if (u != parent_[v]) kids.push_back(u);
+  }
+  return kids;
+}
+
+NodeId LevelAttack::deepest_in_subtree(const Graph& g, NodeId child,
+                                       NodeId v) const {
+  // BFS from `child`, never crossing back through v; the last settled
+  // node at the largest depth is a leaf of the (tree-shaped) subtree.
+  std::vector<char> visited(g.num_nodes(), 0);
+  visited[v] = 1;
+  visited[child] = 1;
+  std::deque<std::pair<NodeId, std::uint32_t>> frontier{{child, 0}};
+  NodeId deepest = child;
+  std::uint32_t best_depth = 0;
+  while (!frontier.empty()) {
+    auto [x, d] = frontier.front();
+    frontier.pop_front();
+    if (d > best_depth || (d == best_depth && x < deepest)) {
+      // Prefer strictly deeper nodes; among equals the lowest id, so the
+      // prune order is deterministic.
+      if (d > best_depth || x < deepest) {
+        deepest = x;
+        best_depth = d;
+      }
+    }
+    for (NodeId u : g.neighbors(x)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        frontier.emplace_back(u, d + 1);
+      }
+    }
+  }
+  return deepest;
+}
+
+NodeId LevelAttack::select(const Graph& g, const HealingState& state) {
+  while (plan_idx_ < plan_.size()) {
+    const NodeId v = plan_[plan_idx_];
+    if (!g.alive(v)) {  // already consumed by an earlier Prune
+      ++plan_idx_;
+      continue;
+    }
+    const auto kids = current_children(g, v);
+    if (kids.size() > m_ + 2) {
+      // Algorithm 2 step 5: prune the subtree of the least-burdened
+      // excess child, one leaf at a time.
+      NodeId child = kids.front();
+      for (NodeId c : kids) {
+        if (state.delta(c) < state.delta(child) ||
+            (state.delta(c) == state.delta(child) &&
+             state.initial_id(c) < state.initial_id(child))) {
+          child = c;
+        }
+      }
+      ++prune_deletions_;
+      return deepest_in_subtree(g, child, v);
+    }
+    // Algorithm 2 step 6: delete v itself.
+    ++plan_idx_;
+    return v;
+  }
+  return graph::kInvalidNode;  // root deleted; attack complete
+}
+
+}  // namespace dash::attack

@@ -1,0 +1,33 @@
+// strategy.h -- adversary interface.
+//
+// The paper's adversary is omniscient: it sees the full topology and the
+// healer's internal state, and deletes one node per round. select() gets
+// both and returns the victim, or kInvalidNode to stop attacking early
+// (LEVELATTACK stops after the root).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/healing_state.h"
+#include "graph/graph.h"
+
+namespace dash::attack {
+
+using core::HealingState;
+using graph::Graph;
+using graph::NodeId;
+
+class AttackStrategy {
+ public:
+  virtual ~AttackStrategy() = default;
+  virtual std::string name() const = 0;
+
+  /// Pick the next node to delete. `g` has at least one alive node.
+  /// Returning kInvalidNode ends the attack.
+  virtual NodeId select(const Graph& g, const HealingState& state) = 0;
+
+  virtual std::unique_ptr<AttackStrategy> clone() const = 0;
+};
+
+}  // namespace dash::attack

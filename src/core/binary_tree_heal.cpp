@@ -1,0 +1,29 @@
+#include "core/binary_tree_heal.h"
+
+#include <algorithm>
+
+#include "core/reconstruction_tree.h"
+
+namespace dash::core {
+
+HealAction BinaryTreeHealStrategy::heal(Graph& g, HealingState& state,
+                                        const DeletionContext& ctx) {
+  HealAction action;
+  std::vector<NodeId> rt = state.reconnection_set(ctx);
+  // Undo the delta ordering: place by initial id (delta-oblivious).
+  std::sort(rt.begin(), rt.end(), [&state](NodeId a, NodeId b) {
+    return state.initial_id(a) < state.initial_id(b);
+  });
+  action.reconnection_set_size = rt.size();
+  if (rt.empty()) return action;
+
+  for (auto [parent, child] : complete_binary_tree_edges(rt.size())) {
+    if (state.add_healing_edge(g, rt[parent], rt[child])) {
+      action.new_graph_edges.emplace_back(rt[parent], rt[child]);
+    }
+  }
+  action.ids_rewritten = state.propagate_min_id(g, rt);
+  return action;
+}
+
+}  // namespace dash::core

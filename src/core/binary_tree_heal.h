@@ -1,0 +1,23 @@
+// binary_tree_heal.h -- the paper's intermediate baseline (Sec. 4.3
+// "Binary tree heal"): component-aware like DASH (reconnects only
+// UN(v,G) u N(v,G'), so E' stays a forest) but ignores past degree
+// increase when placing nodes in the tree -- placement is by initial id
+// instead of by delta. Isolates the contribution of DASH's delta
+// ordering.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dash::core {
+
+class BinaryTreeHealStrategy final : public HealingStrategy {
+ public:
+  std::string name() const override { return "BinaryTreeHeal"; }
+  HealAction heal(Graph& g, HealingState& state,
+                  const DeletionContext& ctx) override;
+  std::unique_ptr<HealingStrategy> clone() const override {
+    return std::make_unique<BinaryTreeHealStrategy>(*this);
+  }
+};
+
+}  // namespace dash::core

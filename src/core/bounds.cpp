@@ -1,0 +1,36 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dash::core::bounds {
+
+double dash_delta_bound(std::size_t n) {
+  DASH_CHECK(n >= 1);
+  return 2.0 * std::log2(static_cast<double>(n));
+}
+
+double message_bound(std::size_t initial_degree, std::size_t n) {
+  DASH_CHECK(n >= 1);
+  const double log2n = std::log2(static_cast<double>(n));
+  const double lnn = std::log(static_cast<double>(n));
+  return 2.0 * (static_cast<double>(initial_degree) + 2.0 * log2n) * lnn;
+}
+
+double id_change_bound(std::size_t n) {
+  DASH_CHECK(n >= 1);
+  return 2.0 * std::log(static_cast<double>(n));
+}
+
+double lower_bound_delta(std::size_t n, std::size_t m) {
+  DASH_CHECK(n >= 1 && m >= 1);
+  return std::floor(std::log(static_cast<double>(n)) /
+                    std::log(static_cast<double>(m + 2)));
+}
+
+long tree_degree_sum_increase(std::size_t d) {
+  return 2 * (static_cast<long>(d) - 1) - static_cast<long>(d);
+}
+
+}  // namespace dash::core::bounds

@@ -1,0 +1,31 @@
+// bounds.h -- the paper's closed-form bounds in one place, so tests,
+// benches and downstream users evaluate exactly the same expressions.
+#pragma once
+
+#include <cstddef>
+
+namespace dash::core::bounds {
+
+/// Theorem 1: maximum degree increase of any node under DASH,
+/// 2 * log2(n). Deterministic.
+double dash_delta_bound(std::size_t n);
+
+/// Lemma 8: messages sent+received by a node of initial degree d over
+/// all deletions, 2 * (d + 2 log2 n) * ln n. With high probability.
+double message_bound(std::size_t initial_degree, std::size_t n);
+
+/// Record-breaking bound on the number of times a node's component id
+/// can shrink: 2 * ln n. With high probability.
+double id_change_bound(std::size_t n);
+
+/// Theorem 2: degree increase any M-bounded locality-aware healer can
+/// be forced to pay on an (M+2)-ary tree of size n:
+/// floor(log_{M+2}(n)) levels.
+double lower_bound_delta(std::size_t n, std::size_t m);
+
+/// Lemma 10: degree-sum increase of the neighbors when a degree-d node
+/// of a tree is deleted and healed acyclically: d - 2 (signed; -1 for
+/// leaves).
+long tree_degree_sum_increase(std::size_t d);
+
+}  // namespace dash::core::bounds

@@ -1,0 +1,26 @@
+#include "core/dash.h"
+
+#include "core/reconstruction_tree.h"
+
+namespace dash::core {
+
+HealAction DashStrategy::heal(Graph& g, HealingState& state,
+                              const DeletionContext& ctx) {
+  HealAction action;
+  // reconnection_set() returns UN(v,G) u N(v,G') already sorted by
+  // increasing delta -- exactly Algorithm 1 line 4's fill order.
+  const std::vector<NodeId> rt = state.reconnection_set(ctx);
+  action.reconnection_set_size = rt.size();
+  if (rt.empty()) return action;
+
+  for (auto [parent, child] : complete_binary_tree_edges(rt.size())) {
+    if (state.add_healing_edge(g, rt[parent], rt[child])) {
+      action.new_graph_edges.emplace_back(rt[parent], rt[child]);
+    }
+  }
+  // Algorithm 1 line 5: MINID propagation over the merged tree.
+  action.ids_rewritten = state.propagate_min_id(g, rt);
+  return action;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,61 @@
+#include "core/degree_capped.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dash::core {
+
+DegreeCappedStrategy::DegreeCappedStrategy(std::uint32_t m) : m_(m) {
+  DASH_CHECK_MSG(m >= 2, "degree cap must be >= 2 (see header)");
+}
+
+std::string DegreeCappedStrategy::name() const {
+  return "DegreeCapped(M=" + std::to_string(m_) + ")";
+}
+
+HealAction DegreeCappedStrategy::heal(Graph& g, HealingState& state,
+                                      const DeletionContext& ctx) {
+  HealAction action;
+  // Sorted ascending by delta.
+  std::vector<NodeId> s = state.reconnection_set(ctx);
+  action.reconnection_set_size = s.size();
+  if (s.empty()) return action;
+
+  // Path order: highest-delta node at the front endpoint, second-highest
+  // at the back endpoint, the rest ascending in the interior.
+  std::vector<NodeId> order;
+  order.reserve(s.size());
+  if (s.size() >= 2) {
+    order.push_back(s.back());                       // +1 slot
+    for (std::size_t i = 0; i + 2 < s.size(); ++i) { // +2 slots
+      order.push_back(s[i]);
+    }
+    order.push_back(s[s.size() - 2]);                // +1 slot
+  } else {
+    order = s;
+  }
+
+  std::vector<std::int32_t> before(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    before[i] = state.delta(order[i]);
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (state.add_healing_edge(g, order[i - 1], order[i])) {
+      action.new_graph_edges.emplace_back(order[i - 1], order[i]);
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::int32_t rise = state.delta(order[i]) - before[i];
+    DASH_CHECK_MSG(rise <= static_cast<std::int32_t>(m_),
+                   "degree cap violated");
+    if (rise > 0) {
+      max_round_increase_ =
+          std::max(max_round_increase_, static_cast<std::uint32_t>(rise));
+    }
+  }
+  action.ids_rewritten = state.propagate_min_id(g, s);
+  return action;
+}
+
+}  // namespace dash::core

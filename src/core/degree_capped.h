@@ -1,0 +1,44 @@
+// degree_capped.h -- an M-degree-bounded locality-aware healer
+// (Section 3.2's definition): no node's degree may grow by more than M
+// in a single deletion/heal round.
+//
+// Used as the subject of the Theorem 2 lower bound: LEVELATTACK on an
+// (M+2)-ary tree forces *any* such healer -- including this best-effort
+// one -- to hand some node a cumulative degree increase of D - i per
+// level, i.e. Omega(log n) overall.
+//
+// Implementation: reconnect the component-aware set as a path whose
+// interior (the +2 slots) is filled with the lowest-delta nodes and
+// whose endpoints (the +1 slots) get the two highest-delta nodes. The
+// per-round increase is thus <= 2 <= M for every supported M.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dash::core {
+
+class DegreeCappedStrategy final : public HealingStrategy {
+ public:
+  /// M must be >= 2: with M <= 1 the total degree budget k*M of a
+  /// k-node set cannot cover the 2(k-1) endpoint-degrees a spanning
+  /// tree needs once k > 2, so connectivity would be unachievable.
+  explicit DegreeCappedStrategy(std::uint32_t m = 2);
+
+  std::string name() const override;
+  std::uint32_t cap() const { return m_; }
+  HealAction heal(Graph& g, HealingState& state,
+                  const DeletionContext& ctx) override;
+  std::unique_ptr<HealingStrategy> clone() const override {
+    return std::make_unique<DegreeCappedStrategy>(*this);
+  }
+
+  /// Largest single-round delta increase ever imposed on one node;
+  /// tests assert this stays <= cap().
+  std::uint32_t max_round_increase() const { return max_round_increase_; }
+
+ private:
+  std::uint32_t m_;
+  std::uint32_t max_round_increase_ = 0;
+};
+
+}  // namespace dash::core

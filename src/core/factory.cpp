@@ -1,0 +1,64 @@
+#include "core/factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/binary_tree_heal.h"
+#include "core/dash.h"
+#include "core/degree_capped.h"
+#include "core/graph_heal.h"
+#include "core/line_heal.h"
+#include "core/no_heal.h"
+#include "core/sdash.h"
+
+namespace dash::core {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+std::unique_ptr<HealingStrategy> make_strategy(const std::string& name) {
+  const std::string key = lower(name);
+  if (key == "dash") return std::make_unique<DashStrategy>();
+  if (key == "sdash") return std::make_unique<SdashStrategy>();
+  if (key.rfind("sdash:", 0) == 0) {
+    const auto slack = std::stoul(key.substr(6));
+    return std::make_unique<SdashStrategy>(
+        static_cast<std::uint32_t>(slack));
+  }
+  if (key == "graph" || key == "graphheal")
+    return std::make_unique<GraphHealStrategy>();
+  if (key == "binarytree" || key == "btree")
+    return std::make_unique<BinaryTreeHealStrategy>();
+  if (key == "line" || key == "lineheal")
+    return std::make_unique<LineHealStrategy>();
+  if (key == "none" || key == "noheal")
+    return std::make_unique<NoHealStrategy>();
+  if (key.rfind("capped:", 0) == 0) {
+    const auto m = std::stoul(key.substr(7));
+    return std::make_unique<DegreeCappedStrategy>(
+        static_cast<std::uint32_t>(m));
+  }
+  throw std::invalid_argument("unknown healing strategy: " + name);
+}
+
+std::vector<std::unique_ptr<HealingStrategy>> paper_strategies() {
+  std::vector<std::unique_ptr<HealingStrategy>> out;
+  out.push_back(std::make_unique<GraphHealStrategy>());
+  out.push_back(std::make_unique<LineHealStrategy>());
+  out.push_back(std::make_unique<BinaryTreeHealStrategy>());
+  out.push_back(std::make_unique<DashStrategy>());
+  out.push_back(std::make_unique<SdashStrategy>());
+  return out;
+}
+
+std::vector<std::string> strategy_names() {
+  return {"dash", "sdash", "sdash:<slack>", "graph", "binarytree", "line",
+          "none", "capped:<M>"};
+}
+
+}  // namespace dash::core

@@ -1,0 +1,23 @@
+// factory.h -- construct healing strategies by name (CLI-facing).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace dash::core {
+
+/// Names accepted: "dash", "sdash", "graph", "binarytree", "line",
+/// "none", "capped:<M>" (e.g. "capped:2"). Case-insensitive.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<HealingStrategy> make_strategy(const std::string& name);
+
+/// The strategy set the paper's figures compare.
+std::vector<std::unique_ptr<HealingStrategy>> paper_strategies();
+
+/// All registered strategy spellings (for --help texts).
+std::vector<std::string> strategy_names();
+
+}  // namespace dash::core

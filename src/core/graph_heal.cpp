@@ -1,0 +1,30 @@
+#include "core/graph_heal.h"
+
+#include <algorithm>
+
+#include "core/reconstruction_tree.h"
+
+namespace dash::core {
+
+HealAction GraphHealStrategy::heal(Graph& g, HealingState& state,
+                                   const DeletionContext& ctx) {
+  HealAction action;
+  // Naive: the full neighbor set, in (deterministic) id order -- no
+  // component tracking, no delta-awareness.
+  std::vector<NodeId> nodes = ctx.neighbors_g;
+  std::sort(nodes.begin(), nodes.end());
+  action.reconnection_set_size = nodes.size();
+  if (nodes.empty()) return action;
+
+  for (auto [parent, child] : complete_binary_tree_edges(nodes.size())) {
+    if (state.add_healing_edge(g, nodes[parent], nodes[child])) {
+      action.new_graph_edges.emplace_back(nodes[parent], nodes[child]);
+    }
+  }
+  // Ids are still maintained (Fig. 9 compares id/message costs across
+  // all strategies) even though this strategy ignores them for healing.
+  action.ids_rewritten = state.propagate_min_id(g, nodes);
+  return action;
+}
+
+}  // namespace dash::core

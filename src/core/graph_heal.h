@@ -1,0 +1,22 @@
+// graph_heal.h -- the paper's most naive baseline (Sec. 4.3 "Graph
+// heal"): reconnect *all* neighbors of the deleted node into a binary
+// tree with no regard for the cycles this introduces in the healing
+// graph. Uses many more edges than necessary, so degrees blow up.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dash::core {
+
+class GraphHealStrategy final : public HealingStrategy {
+ public:
+  std::string name() const override { return "GraphHeal"; }
+  HealAction heal(Graph& g, HealingState& state,
+                  const DeletionContext& ctx) override;
+  bool maintains_forest() const override { return false; }
+  std::unique_ptr<HealingStrategy> clone() const override {
+    return std::make_unique<GraphHealStrategy>(*this);
+  }
+};
+
+}  // namespace dash::core

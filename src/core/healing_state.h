@@ -1,0 +1,190 @@
+// healing_state.h -- the shared bookkeeping all healing strategies update.
+//
+// This models the per-node state of the paper's Section 2:
+//   * initial ids ("random number in [0,1]"), realized as a random
+//     permutation of 0..n-1 -- only the order of ids matters, and a
+//     permutation gives distinct ids with the same order statistics;
+//   * component ids maintained by min-id propagation over the healing
+//     graph G' (Algorithm 1 line 5), with per-node counts of id changes
+//     and messages (Lemmas 8/9, Figures 9(a)/9(b));
+//   * delta(v): the paper's degree increase "compared to its initial
+//     degree" -- the *net* change: +1 per new healing edge, -1 per
+//     incident edge lost to a neighbor's deletion. The net convention is
+//     load-bearing: every reconstruction-tree member lost its edge to
+//     the deleted node, which is exactly why the paper's case analysis
+//     (Lemma 4) charges an RT root only +1 and an internal node at most
+//     +2 even though it may touch three new tree edges;
+//   * w(v): vertex weights for the rem(v) potential-function analysis
+//     (weight 1 at start; a deleted node's weight moves to a G'-neighbor,
+//     Lemma 2);
+//   * the healing graph G' = (V, E') itself, E' being all edges added by
+//     healing (a forest for component-aware strategies, Lemma 1).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dash::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct BatchDeletionContext;  // batch.h
+
+/// Everything a strategy needs to know about a deletion, captured
+/// *before* the node is removed from the graph.
+struct DeletionContext {
+  NodeId deleted = graph::kInvalidNode;
+  std::vector<NodeId> neighbors_g;       ///< N(v, G) at deletion time
+  std::vector<NodeId> forest_neighbors;  ///< N(v, G') at deletion time
+  std::uint64_t component_id = 0;        ///< v's component id at deletion
+  std::uint64_t weight = 0;              ///< w(v) at deletion
+};
+
+class HealingState {
+ public:
+  /// Snapshot initial degrees and assign random ids. `g` must be the
+  /// network at time 0.
+  HealingState(const Graph& g, dash::util::Rng& rng);
+
+  // ---- per-node accessors -------------------------------------------
+
+  /// The paper's delta(v): net degree change vs the initial degree.
+  /// Negative when v lost more neighbors than healing reconnected.
+  /// Invariant (tested): delta(v) == degree_now(v) - initial_degree(v)
+  /// for every alive v.
+  std::int32_t delta(NodeId v) const { return delta_[v]; }
+  /// Degree increase recomputed from the graph; equals delta(v) for
+  /// alive nodes and exists as an independent cross-check.
+  std::int64_t raw_degree_increase(const Graph& g, NodeId v) const;
+  std::uint64_t initial_id(NodeId v) const { return initial_id_[v]; }
+  std::uint64_t component_id(NodeId v) const { return component_id_[v]; }
+  std::uint64_t weight(NodeId v) const { return weight_[v]; }
+  std::size_t initial_degree(NodeId v) const { return initial_degree_[v]; }
+  std::uint32_t id_changes(NodeId v) const { return id_changes_[v]; }
+  std::uint64_t messages_sent(NodeId v) const { return msgs_sent_[v]; }
+  std::uint64_t messages_received(NodeId v) const { return msgs_recv_[v]; }
+  std::uint64_t messages_total(NodeId v) const {
+    return msgs_sent_[v] + msgs_recv_[v];
+  }
+
+  /// Max delta over nodes still alive in `g` (at least 0).
+  std::int32_t max_delta_alive(const Graph& g) const;
+  /// Max over time and over nodes of delta (the paper's headline
+  /// metric: the adversary wins by overloading a node at any point in
+  /// time). Never negative (all deltas start at 0).
+  std::uint32_t max_delta_ever() const {
+    return static_cast<std::uint32_t>(max_delta_ever_);
+  }
+  std::uint32_t max_id_changes() const;
+  std::uint64_t max_messages() const;       ///< max over nodes, sent+received
+  std::uint64_t max_messages_sent() const;  ///< max over nodes, sent only
+
+  // ---- the healing graph G' -----------------------------------------
+
+  const std::vector<NodeId>& forest_neighbors(NodeId v) const {
+    return forest_adj_[v];
+  }
+  std::size_t num_healing_edges() const { return healing_edges_; }
+
+  /// True if E' restricted to alive nodes is acyclic.
+  bool healing_graph_is_forest(const Graph& g) const;
+
+  /// All alive nodes in v's G'-component (v included). Works for cyclic
+  /// E' too (visited-set BFS).
+  std::vector<NodeId> healing_component(const Graph& g, NodeId v) const;
+
+  /// The paper's rem(v) potential: W(T_v) minus the heaviest subtree
+  /// hanging off v in G'. Only meaningful while E' is a forest.
+  std::uint64_t rem(const Graph& g, NodeId v) const;
+
+  // ---- churn: organic node arrivals ----------------------------------
+
+  /// Reconfigurable networks also grow: admit a brand-new node into the
+  /// network, wired to `attach_to` (all alive). Performs the
+  /// Graph::add_node + edge insertions and extends the healing state:
+  /// the newcomer gets a fresh unique id, weight 1, delta 0, and the
+  /// join edges shift everyone's *baseline* degree (they are organic
+  /// growth, not healing burden -- delta is unchanged for the targets).
+  /// Returns the new node's id.
+  NodeId join_node(Graph& g, const std::vector<NodeId>& attach_to);
+
+  // ---- deletion/healing protocol ------------------------------------
+
+  /// Capture the context of v's deletion, transfer its weight to a
+  /// G'-neighbor (or a G-neighbor if it has none), detach v from G',
+  /// and charge every surviving neighbor the -1 degree it is about to
+  /// lose. Must be called *before* Graph::delete_node(v).
+  DeletionContext begin_deletion(const Graph& g, NodeId v);
+
+  /// UN(v, G) of Section 2.1: one representative (lowest initial id) per
+  /// component-id partition of ctx.neighbors_g, excluding nodes that
+  /// share v's component id (those are reachable through N(v, G')).
+  std::vector<NodeId> unique_neighbors(const DeletionContext& ctx) const;
+
+  /// UN(v,G) + N(v,G'): the node set every component-aware strategy
+  /// reconnects. Sorted ascending by (delta, initial id) -- the order
+  /// DASH fills its reconstruction tree in.
+  std::vector<NodeId> reconnection_set(const DeletionContext& ctx) const;
+
+  /// Add {a,b} to G (if absent) and to E'. Updates delta for genuinely
+  /// new graph edges only. Returns true if the graph edge was new.
+  bool add_healing_edge(Graph& g, NodeId a, NodeId b);
+
+  /// Algorithm 1 line 5: set every node of the G'-component containing
+  /// `seeds` to the minimum component id found among the seeds, counting
+  /// id changes and the messages each change broadcasts to G-neighbors.
+  /// Returns the number of nodes whose id changed.
+  std::size_t propagate_min_id(const Graph& g,
+                               const std::vector<NodeId>& seeds);
+
+  /// Batch-deletion counterpart of begin_deletion: per-cluster weight
+  /// transfer, survivor delta charges, and G' detachment for a
+  /// simultaneous deletion (paper footnote 1). Called by
+  /// core::begin_batch_deletion; defined in batch.cpp.
+  void begin_cluster_deletions(const Graph& g,
+                               const BatchDeletionContext& ctx,
+                               const std::vector<char>& in_batch);
+
+  /// Sort `nodes` ascending by (delta, initial id); deterministic.
+  void sort_by_delta(std::vector<NodeId>& nodes) const;
+
+  /// Sum of weights over alive nodes (the analysis keeps this == n until
+  /// weight is dropped with the final isolated deletions).
+  std::uint64_t total_alive_weight(const Graph& g) const;
+
+  // ---- checkpointing -------------------------------------------------
+
+  /// Serialize the full state (text format, versioned). Together with
+  /// graph::write_edge_list this checkpoints a running experiment.
+  void save(std::ostream& out) const;
+
+  /// Inverse of save(). Throws std::runtime_error on malformed input.
+  static HealingState load(std::istream& in);
+
+  /// Deep equality (all per-node fields + counters); for tests.
+  bool operator==(const HealingState& other) const;
+
+ private:
+  HealingState() = default;  // for load()
+
+  std::vector<std::size_t> initial_degree_;
+  std::vector<std::uint64_t> initial_id_;
+  std::vector<std::uint64_t> component_id_;
+  std::vector<std::int32_t> delta_;
+  std::vector<std::uint64_t> weight_;
+  std::vector<std::uint32_t> id_changes_;
+  std::vector<std::uint64_t> msgs_sent_;
+  std::vector<std::uint64_t> msgs_recv_;
+  std::vector<std::vector<NodeId>> forest_adj_;
+  std::size_t healing_edges_ = 0;
+  std::int32_t max_delta_ever_ = 0;
+  std::uint64_t next_fresh_id_ = 0;  ///< id source for joined nodes
+};
+
+}  // namespace dash::core

@@ -1,0 +1,28 @@
+#include "core/line_heal.h"
+
+#include <algorithm>
+
+#include "core/reconstruction_tree.h"
+
+namespace dash::core {
+
+HealAction LineHealStrategy::heal(Graph& g, HealingState& state,
+                                  const DeletionContext& ctx) {
+  HealAction action;
+  std::vector<NodeId> rt = state.reconnection_set(ctx);
+  std::sort(rt.begin(), rt.end(), [&state](NodeId a, NodeId b) {
+    return state.initial_id(a) < state.initial_id(b);
+  });
+  action.reconnection_set_size = rt.size();
+  if (rt.empty()) return action;
+
+  for (auto [a, b] : line_edges(rt.size())) {
+    if (state.add_healing_edge(g, rt[a], rt[b])) {
+      action.new_graph_edges.emplace_back(rt[a], rt[b]);
+    }
+  }
+  action.ids_rewritten = state.propagate_min_id(g, rt);
+  return action;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,22 @@
+// line_heal.h -- the "simple line algorithm" of the earlier work the
+// paper builds on (Boman et al. 2006, refs [5,6]): reconnect the
+// deletion's neighbor set as a path. Component-aware (uses
+// UN(v,G) u N(v,G')) but delta-oblivious; interior path nodes gain
+// degree 2 every time, so burdens concentrate.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dash::core {
+
+class LineHealStrategy final : public HealingStrategy {
+ public:
+  std::string name() const override { return "LineHeal"; }
+  HealAction heal(Graph& g, HealingState& state,
+                  const DeletionContext& ctx) override;
+  std::unique_ptr<HealingStrategy> clone() const override {
+    return std::make_unique<LineHealStrategy>(*this);
+  }
+};
+
+}  // namespace dash::core

@@ -1,0 +1,12 @@
+#include "core/no_heal.h"
+
+namespace dash::core {
+
+HealAction NoHealStrategy::heal(Graph& /*g*/, HealingState& /*state*/,
+                                const DeletionContext& ctx) {
+  HealAction action;
+  action.reconnection_set_size = ctx.neighbors_g.size();
+  return action;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,52 @@
+#include "core/reconstruction_tree.h"
+
+#include "util/check.h"
+
+namespace dash::core {
+
+std::vector<std::pair<std::size_t, std::size_t>>
+complete_binary_tree_edges(std::size_t k) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (k <= 1) return edges;
+  edges.reserve(k - 1);
+  for (std::size_t i = 1; i < k; ++i) {
+    edges.emplace_back((i - 1) / 2, i);
+  }
+  return edges;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> line_edges(std::size_t k) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (k <= 1) return edges;
+  edges.reserve(k - 1);
+  for (std::size_t i = 1; i < k; ++i) edges.emplace_back(i - 1, i);
+  return edges;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> star_edges(
+    std::size_t k, std::size_t center) {
+  DASH_CHECK(center < k || k == 0);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (k <= 1) return edges;
+  edges.reserve(k - 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i != center) edges.emplace_back(center, i);
+  }
+  return edges;
+}
+
+std::size_t binary_tree_depth_of(std::size_t i) {
+  std::size_t depth = 0;
+  while (i > 0) {
+    i = (i - 1) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+bool binary_tree_is_leaf(std::size_t i, std::size_t k) {
+  DASH_CHECK(i < k);
+  return 2 * i + 1 >= k;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,33 @@
+// reconstruction_tree.h -- shapes used to reconnect a deletion's
+// neighbor set: complete binary tree (DASH), star (SDASH surrogate),
+// line (prior-work baseline and the degree-capped healer).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dash::core {
+
+/// Parent/child index pairs of a complete binary tree over k slots
+/// filled left-to-right, top-down: node i's parent is (i-1)/2.
+/// k <= 1 yields no edges.
+std::vector<std::pair<std::size_t, std::size_t>>
+complete_binary_tree_edges(std::size_t k);
+
+/// Index pairs of a path 0-1-2-...-(k-1).
+std::vector<std::pair<std::size_t, std::size_t>> line_edges(std::size_t k);
+
+/// Index pairs of a star centered at `center` over k slots.
+std::vector<std::pair<std::size_t, std::size_t>> star_edges(
+    std::size_t k, std::size_t center);
+
+/// Depth of slot i in the complete binary tree (root = 0).
+std::size_t binary_tree_depth_of(std::size_t i);
+
+/// True if slot i is a leaf of the complete binary tree over k slots.
+/// Lemma-relevant property: at least ceil(k/2) slots are leaves, so the
+/// highest-delta half of DASH's reconnection set gains no degree.
+bool binary_tree_is_leaf(std::size_t i, std::size_t k);
+
+}  // namespace dash::core

@@ -1,0 +1,37 @@
+#include "core/sdash.h"
+
+#include "core/reconstruction_tree.h"
+
+namespace dash::core {
+
+HealAction SdashStrategy::heal(Graph& g, HealingState& state,
+                               const DeletionContext& ctx) {
+  HealAction action;
+  const std::vector<NodeId> rt = state.reconnection_set(ctx);
+  action.reconnection_set_size = rt.size();
+  if (rt.empty()) return action;
+
+  // rt is sorted by increasing delta: rt.front() is the cheapest
+  // candidate surrogate w, rt.back() is m, the max-delta member.
+  // Deltas are signed (net degree change) -- keep the arithmetic signed.
+  const std::int64_t max_delta = state.delta(rt.back());
+  const std::int64_t w_delta = state.delta(rt.front());
+  const bool surrogate_ok =
+      rt.size() >= 2 &&
+      w_delta + static_cast<std::int64_t>(rt.size() - 1) <=
+          max_delta + static_cast<std::int64_t>(slack_);
+
+  const auto edges = surrogate_ok
+                         ? star_edges(rt.size(), /*center=*/0)
+                         : complete_binary_tree_edges(rt.size());
+  action.used_surrogate = surrogate_ok;
+  for (auto [a, b] : edges) {
+    if (state.add_healing_edge(g, rt[a], rt[b])) {
+      action.new_graph_edges.emplace_back(rt[a], rt[b]);
+    }
+  }
+  action.ids_rewritten = state.propagate_min_id(g, rt);
+  return action;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,194 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace dash::graph {
+
+using dash::util::Rng;
+
+Graph barabasi_albert(std::size_t n, std::size_t edges_per_node, Rng& rng) {
+  const std::size_t m = edges_per_node;
+  DASH_CHECK_MSG(m >= 1, "BA needs at least one edge per node");
+  DASH_CHECK_MSG(n > m, "BA needs n > edges_per_node");
+
+  Graph g(n);
+  // Endpoint list: every edge contributes both endpoints, so sampling a
+  // uniform element is sampling a node proportionally to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * m * n);
+
+  // Seed: star on nodes 0..m (node 0 the hub) -- connected, and gives the
+  // first attaching node m+1 a full set of m+1 candidates.
+  for (NodeId leaf = 1; leaf <= m; ++leaf) {
+    g.add_edge(0, leaf);
+    endpoints.push_back(0);
+    endpoints.push_back(leaf);
+  }
+
+  std::vector<NodeId> targets;
+  targets.reserve(m);
+  for (NodeId v = static_cast<NodeId>(m) + 1; v < n; ++v) {
+    targets.clear();
+    // Rejection-sample m distinct targets by degree.
+    while (targets.size() < m) {
+      const NodeId cand =
+          endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+      if (std::find(targets.begin(), targets.end(), cand) == targets.end()) {
+        targets.push_back(cand);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
+  DASH_CHECK(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  if (p <= 0.0 || n < 2) return g;
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping (Batagelj-Brandes): O(n + m) expected time.
+  const double log1mp = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.uniform01();
+    w += 1 + static_cast<std::int64_t>(std::log(1.0 - r) / log1mp);
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+    }
+  }
+  return g;
+}
+
+Graph connected_gnp(std::size_t n, double p, Rng& rng,
+                    std::size_t max_tries) {
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    Graph g = erdos_renyi_gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  DASH_CHECK_MSG(false, "connected_gnp: no connected sample; raise p");
+  return Graph(0);  // unreachable
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.below(v));
+    g.add_edge(v, parent);
+  }
+  return g;
+}
+
+KaryTree complete_kary_tree(std::size_t arity, std::size_t depth) {
+  DASH_CHECK(arity >= 1);
+  // Node count: sum_{i=0}^{depth} arity^i.
+  std::size_t n = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    n += level_size;
+    level_size *= arity;
+  }
+
+  KaryTree t;
+  t.g = Graph(n);
+  t.arity = arity;
+  t.depth = depth;
+  t.parent.assign(n, kInvalidNode);
+  t.level.assign(n, 0);
+  t.children.assign(n, {});
+
+  NodeId next = 1;
+  for (NodeId v = 0; v < n && next < n; ++v) {
+    for (std::size_t c = 0; c < arity && next < n; ++c) {
+      t.g.add_edge(v, next);
+      t.parent[next] = v;
+      t.level[next] = t.level[v] + 1;
+      t.children[v].push_back(next);
+      ++next;
+    }
+  }
+  return t;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  DASH_CHECK_MSG(n == 0 || n >= 3, "cycle needs >= 3 nodes");
+  Graph g = path_graph(n);
+  if (n >= 3) g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  DASH_CHECK_MSG(k >= 1 && 2 * k < n, "watts_strogatz needs 2k < n");
+  Graph g(n);
+  // Ring lattice: each node connected to k neighbors on each side.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      g.add_edge(v, static_cast<NodeId>((v + j) % n));
+    }
+  }
+  // Rewire each lattice edge (v, v+j) with probability beta.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      if (!rng.chance(beta)) continue;
+      const auto old = static_cast<NodeId>((v + j) % n);
+      if (!g.has_edge(v, old)) continue;  // already rewired away
+      if (g.degree(v) >= n - 1) continue; // saturated; nothing to rewire to
+      NodeId fresh;
+      do {
+        fresh = static_cast<NodeId>(rng.below(n));
+      } while (fresh == v || g.has_edge(v, fresh));
+      g.remove_edge(v, old);
+      g.add_edge(v, fresh);
+    }
+  }
+  return g;
+}
+
+}  // namespace dash::graph

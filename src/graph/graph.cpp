@@ -1,0 +1,106 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dash::graph {
+
+Graph::Graph(std::size_t n)
+    : adjacency_(n), alive_(n, true), alive_count_(n) {}
+
+void Graph::check_alive(NodeId v) const {
+  DASH_CHECK_MSG(v < adjacency_.size(), "node id out of range");
+  DASH_CHECK_MSG(alive_[v], "operation on deleted node");
+}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  alive_.push_back(true);
+  ++alive_count_;
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+namespace {
+/// Insert `x` into sorted vector `v` if absent; returns true on insert.
+bool sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Erase `x` from sorted vector `v` if present; returns true on erase.
+bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+}  // namespace
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  check_alive(a);
+  check_alive(b);
+  DASH_CHECK_MSG(a != b, "self-loops are not representable");
+  const bool inserted = sorted_insert(adjacency_[a], b);
+  if (!inserted) return false;
+  sorted_insert(adjacency_[b], a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  check_alive(a);
+  check_alive(b);
+  const bool removed = sorted_erase(adjacency_[a], b);
+  if (!removed) return false;
+  sorted_erase(adjacency_[b], a);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  DASH_CHECK(a < adjacency_.size() && b < adjacency_.size());
+  if (!alive_[a] || !alive_[b]) return false;
+  const auto& adj = adjacency_[a];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+std::vector<NodeId> Graph::delete_node(NodeId v) {
+  check_alive(v);
+  std::vector<NodeId> former_neighbors = std::move(adjacency_[v]);
+  adjacency_[v].clear();
+  for (NodeId u : former_neighbors) {
+    sorted_erase(adjacency_[u], v);
+  }
+  edge_count_ -= former_neighbors.size();
+  alive_[v] = false;
+  --alive_count_;
+  return former_neighbors;
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_alive(v);
+  return adjacency_[v];
+}
+
+std::vector<NodeId> Graph::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+    if (alive_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool Graph::same_topology(const Graph& other) const {
+  if (num_nodes() != other.num_nodes()) return false;
+  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+    if (alive_[v] != other.alive_[v]) return false;
+    if (alive_[v] && adjacency_[v] != other.adjacency_[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace dash::graph

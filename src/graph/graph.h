@@ -1,0 +1,74 @@
+// graph.h -- dynamic simple undirected graph with node deletion.
+//
+// This is the substrate every healing experiment runs on. Requirements
+// driving the design:
+//   * node deletion must return the surviving neighbor set (the healing
+//     algorithms operate exactly on that set);
+//   * node ids must be stable across deletions (healing state is keyed
+//     by id);
+//   * edge insertion must report whether the edge was new (degree -- and
+//     therefore the paper's delta(v) -- only grows for genuinely new
+//     edges);
+//   * adjacency iteration must be cheap and deterministic (sorted
+//     vectors, so identical seeds give identical runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dash::graph {
+
+class Graph {
+ public:
+  /// Create n isolated, alive nodes with ids 0..n-1.
+  explicit Graph(std::size_t n = 0);
+
+  /// Number of node ids ever allocated (alive + deleted).
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  /// Number of currently alive nodes.
+  std::size_t num_alive() const { return alive_count_; }
+  /// Number of edges between alive nodes.
+  std::size_t num_edges() const { return edge_count_; }
+
+  bool alive(NodeId v) const { return alive_[v]; }
+
+  /// Append one new isolated node; returns its id.
+  NodeId add_node();
+
+  /// Add undirected edge {a,b}. Both endpoints must be alive and distinct.
+  /// Returns true if the edge was newly inserted, false if it already
+  /// existed (simple graph: parallel edges are not represented).
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Remove edge {a,b} if present; returns true if an edge was removed.
+  bool remove_edge(NodeId a, NodeId b);
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  /// Delete node v: marks it dead and removes all incident edges.
+  /// Returns v's neighbor set at the moment of deletion (sorted).
+  std::vector<NodeId> delete_node(NodeId v);
+
+  /// Sorted adjacency list of an alive node.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// All alive node ids, ascending.
+  std::vector<NodeId> alive_nodes() const;
+
+  /// Structural equality on the alive subgraph (same alive set + edges).
+  bool same_topology(const Graph& other) const;
+
+ private:
+  void check_alive(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dash::graph

@@ -1,0 +1,59 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dash::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# dashheal edge list v1\n";
+  out << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) out << "! " << v << '\n';
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (v < u) out << v << ' ' << u << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  long long n = -1;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> dead;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (n < 0) {
+      if (!(ls >> n) || n < 0) {
+        throw std::runtime_error("edge list: bad node-count header");
+      }
+      continue;
+    }
+    if (line[0] == '!') {
+      char bang;
+      long long v;
+      if (!(ls >> bang >> v) || v < 0 || v >= n) {
+        throw std::runtime_error("edge list: bad dead-node line");
+      }
+      dead.push_back(static_cast<NodeId>(v));
+      continue;
+    }
+    long long a, b;
+    if (!(ls >> a >> b) || a < 0 || b < 0 || a >= n || b >= n || a == b) {
+      throw std::runtime_error("edge list: bad edge line: " + line);
+    }
+    edges.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  }
+  if (n < 0) throw std::runtime_error("edge list: missing header");
+  Graph g(static_cast<std::size_t>(n));
+  for (auto [a, b] : edges) g.add_edge(a, b);
+  for (NodeId v : dead) g.delete_node(v);
+  return g;
+}
+
+}  // namespace dash::graph

@@ -1,0 +1,21 @@
+// io.h -- plain edge-list serialization ("n\nu v\n..." with '#' comments)
+// so experiments can be checkpointed and external graphs imported.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "graph/graph.h"
+
+namespace dash::graph {
+
+/// Writes "<num_nodes>" then one "u v" line per alive edge (u < v).
+/// Dead nodes are recorded as "! v" lines so a round-trip preserves the
+/// alive set exactly.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Inverse of write_edge_list. Throws std::runtime_error on malformed
+/// input (negative ids, out-of-range endpoints, missing header).
+Graph read_edge_list(std::istream& in);
+
+}  // namespace dash::graph

@@ -1,0 +1,134 @@
+#include "graph/non_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dash::graph {
+
+namespace {
+bool sorted_contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+}  // namespace
+
+NonIndex::NonIndex(const Graph& g)
+    : direct_(g.num_nodes()), two_hop_count_(g.num_nodes()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    direct_[v] = g.neighbors(v);
+  }
+  // Count 2-hop paths x - y - z for every middle node y.
+  for (NodeId y = 0; y < g.num_nodes(); ++y) {
+    if (!g.alive(y)) continue;
+    const auto& nbrs = direct_[y];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        if (i != j) add_two_hop(nbrs[i], nbrs[j]);
+      }
+    }
+  }
+}
+
+void NonIndex::add_two_hop(NodeId x, NodeId z) { ++two_hop_count_[x][z]; }
+
+void NonIndex::remove_two_hop(NodeId x, NodeId z) {
+  auto it = two_hop_count_[x].find(z);
+  DASH_CHECK_MSG(it != two_hop_count_[x].end() && it->second > 0,
+                 "NoN underflow: removing unknown 2-hop entry");
+  if (--it->second == 0) two_hop_count_[x].erase(it);
+}
+
+void NonIndex::on_add_edge(const Graph& g, NodeId a, NodeId b) {
+  DASH_CHECK_MSG(g.has_edge(a, b), "notify after the edge is added");
+  DASH_CHECK(!sorted_contains(direct_[a], b));
+
+  // Protocol cost: a and b exchange neighbor lists (1 message each) and
+  // each announces the new adjacency to its other neighbors.
+  messages_ += 2;
+  messages_ += direct_[a].size() + direct_[b].size();
+
+  // New 2-hop paths through a: b - a - y for y in N(a); through b:
+  // a - b - y for y in N(b). (Uses the pre-insertion lists.)
+  for (NodeId y : direct_[a]) {
+    add_two_hop(b, y);
+    add_two_hop(y, b);
+  }
+  for (NodeId y : direct_[b]) {
+    add_two_hop(a, y);
+    add_two_hop(y, a);
+  }
+  direct_[a].insert(
+      std::lower_bound(direct_[a].begin(), direct_[a].end(), b), b);
+  direct_[b].insert(
+      std::lower_bound(direct_[b].begin(), direct_[b].end(), a), a);
+}
+
+void NonIndex::on_delete_node(const Graph& g, NodeId v,
+                              const std::vector<NodeId>& former_neighbors) {
+  DASH_CHECK(!g.alive(v));
+  // Every ex-neighbor u detects the failure and tells its own
+  // neighbors (minus v) that v is unreachable through it.
+  for (NodeId u : former_neighbors) {
+    messages_ += direct_[u].size() - 1;
+  }
+
+  // Remove 2-hop paths with v as the middle: x - v - z.
+  for (NodeId x : former_neighbors) {
+    for (NodeId z : former_neighbors) {
+      if (x != z) remove_two_hop(x, z);
+    }
+  }
+  // Remove 2-hop paths with v as an endpoint: v - u - y and y - u - v.
+  for (NodeId u : former_neighbors) {
+    for (NodeId y : direct_[u]) {
+      if (y == v) continue;
+      remove_two_hop(y, v);
+      remove_two_hop(v, y);
+    }
+  }
+  // Drop direct adjacency both ways.
+  for (NodeId u : former_neighbors) {
+    auto& adj = direct_[u];
+    adj.erase(std::lower_bound(adj.begin(), adj.end(), v));
+  }
+  direct_[v].clear();
+  two_hop_count_[v].clear();
+}
+
+bool NonIndex::knows(NodeId x, NodeId z) const {
+  if (x == z) return true;
+  if (sorted_contains(direct_[x], z)) return true;
+  auto it = two_hop_count_[x].find(z);
+  return it != two_hop_count_[x].end() && it->second > 0;
+}
+
+std::size_t NonIndex::knowledge_size(NodeId x) const {
+  std::size_t known = direct_[x].size();
+  for (const auto& [z, count] : two_hop_count_[x]) {
+    if (count > 0 && !sorted_contains(direct_[x], z) && z != x) ++known;
+  }
+  return known;
+}
+
+bool NonIndex::consistent_with(const Graph& g) const {
+  NonIndex fresh(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    if (direct_[v] != fresh.direct_[v]) return false;
+    // Compare the *support* of the 2-hop counts (the knowable set);
+    // counts themselves must match too since both track path counts.
+    if (two_hop_count_[v].size() != fresh.two_hop_count_[v].size()) {
+      return false;
+    }
+    for (const auto& [z, count] : fresh.two_hop_count_[v]) {
+      auto it = two_hop_count_[v].find(z);
+      if (it == two_hop_count_[v].end() || it->second != count) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dash::graph

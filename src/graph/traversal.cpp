@@ -1,0 +1,120 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace dash::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  DASH_CHECK(g.alive(src));
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push_back(src);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t next = dist[v] + 1;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = next;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t bfs_distance(const Graph& g, NodeId src, NodeId dst) {
+  DASH_CHECK(g.alive(src) && g.alive(dst));
+  if (src == dst) return 0;
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push_back(src);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t next = dist[v] + 1;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        if (u == dst) return next;
+        dist[u] = next;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+bool is_connected(const Graph& g) {
+  const auto alive = g.alive_nodes();
+  if (alive.size() <= 1) return true;
+  const auto dist = bfs_distances(g, alive.front());
+  return std::all_of(alive.begin(), alive.end(), [&](NodeId v) {
+    return dist[v] != kUnreachable;
+  });
+}
+
+std::size_t Components::largest() const {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.num_nodes(), kInvalidComponent);
+  std::deque<NodeId> frontier;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (!g.alive(root) || out.label[root] != kInvalidComponent) continue;
+    const auto comp = static_cast<std::uint32_t>(out.sizes.size());
+    out.sizes.push_back(0);
+    out.label[root] = comp;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      ++out.sizes[comp];
+      for (NodeId u : g.neighbors(v)) {
+        if (out.label[u] == kInvalidComponent) {
+          out.label[u] = comp;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.alive(v) && dist[v] != kUnreachable) ecc = std::max(ecc, dist[v]);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  const auto alive = g.alive_nodes();
+  if (alive.size() <= 1) return 0;
+  if (!is_connected(g)) return kUnreachable;
+  std::uint32_t diam = 0;
+  for (NodeId v : alive) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+std::vector<std::uint32_t> all_pairs_distances(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> mat(n * n, kUnreachable);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!g.alive(v)) continue;
+    const auto dist = bfs_distances(g, v);
+    std::copy(dist.begin(), dist.end(), mat.begin() + v * n);
+  }
+  return mat;
+}
+
+}  // namespace dash::graph

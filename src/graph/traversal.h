@@ -1,0 +1,51 @@
+// traversal.h -- BFS-based queries over the alive subgraph: distances,
+// connectivity, components, eccentricity. These back the stretch metric
+// (Fig. 10) and every connectivity invariant check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dash::graph {
+
+/// Single-source BFS distances over alive nodes. Entries for dead or
+/// unreachable nodes are kUnreachable. `src` must be alive.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// Shortest-path distance between two alive nodes (kUnreachable if
+/// disconnected). Early-exits once `dst` is settled.
+std::uint32_t bfs_distance(const Graph& g, NodeId src, NodeId dst);
+
+/// True if all alive nodes form a single connected component.
+/// Vacuously true for 0 or 1 alive nodes.
+bool is_connected(const Graph& g);
+
+/// Component labels for alive nodes; dead nodes get kInvalidComponent.
+/// Labels are dense 0..k-1 in order of discovery from ascending node ids.
+inline constexpr std::uint32_t kInvalidComponent =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct Components {
+  std::vector<std::uint32_t> label;   ///< per node id
+  std::vector<std::uint32_t> sizes;   ///< per component label
+  std::size_t count() const { return sizes.size(); }
+  std::size_t largest() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// Eccentricity of `src` (max BFS distance to any reachable alive node).
+std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+/// Diameter of the alive subgraph (max eccentricity); kUnreachable if
+/// the graph is disconnected. O(n * m) -- intended for test-sized graphs.
+std::uint32_t diameter(const Graph& g);
+
+/// All-pairs shortest-path matrix (row-major over node ids, dead rows
+/// filled with kUnreachable). O(n * m) time, O(n^2) space; used by the
+/// stretch metric on graphs of at most a few thousand nodes.
+std::vector<std::uint32_t> all_pairs_distances(const Graph& g);
+
+}  // namespace dash::graph

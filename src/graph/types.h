@@ -1,0 +1,20 @@
+// types.h -- fundamental identifiers shared by all graph code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dash::graph {
+
+/// Dense node identifier; nodes are numbered 0..n-1 at construction and
+/// keep their id for the lifetime of the graph (deletion marks a node
+/// dead, it never renumbers).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Distance value returned by BFS for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace dash::graph

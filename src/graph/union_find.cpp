@@ -1,0 +1,41 @@
+#include "graph/union_find.h"
+
+#include "util/check.h"
+
+namespace dash::graph {
+
+UnionFind::UnionFind(std::size_t n) { reset(n); }
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+  sets_ = n;
+}
+
+NodeId UnionFind::find(NodeId v) {
+  DASH_CHECK(v < parent_.size());
+  NodeId root = v;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[v] != root) {
+    NodeId next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+std::size_t UnionFind::set_size(NodeId v) { return size_[find(v)]; }
+
+}  // namespace dash::graph

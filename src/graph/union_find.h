@@ -1,0 +1,42 @@
+// union_find.h -- disjoint-set forest with union by size and path
+// compression. Used as the ground-truth component oracle that the
+// ID-propagation mechanism of DASH is validated against, and by the
+// connectivity invariant checker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dash::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n = 0);
+
+  void reset(std::size_t n);
+
+  /// Representative of v's set (with path compression).
+  NodeId find(NodeId v);
+
+  /// Merge the sets of a and b; returns true if they were distinct.
+  bool unite(NodeId a, NodeId b);
+
+  bool connected(NodeId a, NodeId b) { return find(a) == find(b); }
+
+  /// Size of the set containing v.
+  std::size_t set_size(NodeId v);
+
+  /// Number of disjoint sets over all n elements.
+  std::size_t num_sets() const { return sets_; }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_ = 0;
+};
+
+}  // namespace dash::graph

@@ -1,0 +1,117 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dash::util {
+
+void ascii_plot(std::ostream& out, const std::vector<std::string>& x_labels,
+                const std::vector<Series>& series,
+                const PlotOptions& options) {
+  DASH_CHECK(!x_labels.empty());
+  DASH_CHECK(!series.empty());
+  for (const auto& s : series) {
+    DASH_CHECK_MSG(s.y.size() == x_labels.size(),
+                   "series length must match x labels");
+  }
+  const std::size_t width = std::max<std::size_t>(options.width, 8);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+
+  auto transform = [&options](double v) {
+    if (!options.log_y) return v;
+    DASH_CHECK_MSG(v > 0.0, "log-scale plot needs positive values");
+    return std::log10(v);
+  };
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s.y) {
+      lo = std::min(lo, transform(v));
+      hi = std::max(hi, transform(v));
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;  // flat data: give it a band
+
+  // Grid of characters, row 0 = top.
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const std::size_t points = x_labels.size();
+  auto col_of = [&](std::size_t i) {
+    return points == 1 ? 0
+                       : i * (width - 1) / (points - 1);
+  };
+  auto row_of = [&](double v) {
+    const double t = (transform(v) - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(
+        std::lround(t * static_cast<double>(height - 1)));
+    return height - 1 - std::min(r, height - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = static_cast<char>('A' + (si % 26));
+    const auto& y = series[si].y;
+    // Connect consecutive points with interpolated marks, then stamp
+    // the data points on top so overlaps resolve to the later series.
+    for (std::size_t i = 0; i + 1 < points; ++i) {
+      const std::size_t c0 = col_of(i), c1 = col_of(i + 1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double frac =
+            c1 == c0 ? 0.0
+                     : static_cast<double>(c - c0) /
+                           static_cast<double>(c1 - c0);
+        const double v = y[i] + (y[i + 1] - y[i]) * frac;
+        auto& cell = grid[row_of(v)][c];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < points; ++i) {
+      grid[row_of(y[i])][col_of(i)] = mark;
+    }
+  }
+
+  // Render with a y-axis scale.
+  char buf[32];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double frac =
+        static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    double v = lo + frac * (hi - lo);
+    if (options.log_y) v = std::pow(10.0, v);
+    std::snprintf(buf, sizeof buf, "%9.2f |", v);
+    out << buf << grid[r] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(width, '-') << '\n';
+  // X labels: first, middle, last.
+  out << std::string(11, ' ');
+  const std::string& first = x_labels.front();
+  const std::string& last = x_labels.back();
+  out << first;
+  if (points > 2) {
+    const std::string& mid = x_labels[points / 2];
+    const std::size_t mid_col = col_of(points / 2);
+    if (mid_col > first.size() + 1) {
+      out << std::string(mid_col - first.size(), ' ') << mid;
+    }
+  }
+  const std::size_t used =
+      first.size() +
+      (points > 2 ? x_labels[points / 2].size() +
+                        (col_of(points / 2) > first.size() + 1
+                             ? col_of(points / 2) - first.size()
+                             : 0)
+                  : 0);
+  if (width > used + last.size()) {
+    out << std::string(width - used - last.size(), ' ') << last;
+  }
+  out << '\n';
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << static_cast<char>('A' + (si % 26)) << " = "
+        << series[si].label << '\n';
+  }
+}
+
+}  // namespace dash::util

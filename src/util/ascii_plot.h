@@ -1,0 +1,31 @@
+// ascii_plot.h -- terminal line charts for the figure-reproduction
+// benches: the same series the paper plots, drawn as ASCII so "the
+// figure" is visible directly in the bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dash::util {
+
+struct Series {
+  std::string label;
+  std::vector<double> y;  ///< one value per x position
+};
+
+struct PlotOptions {
+  std::size_t width = 64;   ///< plot area columns (x positions spread)
+  std::size_t height = 16;  ///< plot area rows
+  bool log_y = false;       ///< log-scale the y axis (values must be > 0)
+};
+
+/// Render all series on shared axes. `x_labels` has one entry per x
+/// position (every series must have x_labels.size() points). Each
+/// series is drawn with its own marker character (1st = 'A', ...), with
+/// a legend underneath.
+void ascii_plot(std::ostream& out, const std::vector<std::string>& x_labels,
+                const std::vector<Series>& series,
+                const PlotOptions& options = {});
+
+}  // namespace dash::util

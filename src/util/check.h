@@ -1,0 +1,36 @@
+// check.h -- lightweight runtime-check macros used across the library.
+//
+// DASH_CHECK is always on (it guards logic errors that would silently
+// corrupt an experiment); DASH_DCHECK compiles out in NDEBUG builds and is
+// used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dash::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "DASH_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " -- " : "", msg);
+  std::abort();
+}
+
+}  // namespace dash::util
+
+#define DASH_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::dash::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DASH_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::dash::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DASH_DCHECK(expr) ((void)0)
+#else
+#define DASH_DCHECK(expr) DASH_CHECK(expr)
+#endif

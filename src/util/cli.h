@@ -1,0 +1,54 @@
+// cli.h -- tiny declarative command-line option parser for the bench and
+// example binaries. Supports `--name value`, `--name=value`, and boolean
+// flags; prints a generated usage text on --help or parse error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dash::util {
+
+class Options {
+ public:
+  explicit Options(std::string program_description);
+
+  /// Register options; `target` must outlive parse().
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t* target,
+                const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) if --help was given
+  /// or an unknown/malformed option was seen; callers should exit(0)/(2).
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string help;
+    std::string kind;
+    std::function<bool(const std::string&)> assign;
+    bool is_flag = false;
+    std::string default_repr;
+  };
+
+  const Opt* find(const std::string& name) const;
+
+  std::string description_;
+  std::string program_name_ = "prog";
+  std::vector<Opt> opts_;
+  bool help_requested_ = false;
+};
+
+}  // namespace dash::util

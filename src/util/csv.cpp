@@ -1,0 +1,45 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dash::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  DASH_CHECK(columns_ > 0);
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  DASH_CHECK_MSG(fields.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace dash::util

@@ -1,0 +1,46 @@
+// csv.h -- minimal RFC-4180-style CSV emission for experiment results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dash::util {
+
+/// Writes rows to an ostream, quoting fields only when required.
+/// Column count is fixed by the header; writing a row of a different
+/// width is a checked error (it would silently misalign downstream
+/// plotting scripts otherwise).
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: format arithmetic values with full precision.
+  template <typename... Ts>
+  void write(const Ts&... vals) {
+    write_row({to_field(vals)...});
+  }
+
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(const std::string& field);
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(std::size_t v) { return std::to_string(v); }
+  static std::string to_field(int v) { return std::to_string(v); }
+  static std::string to_field(long v) { return std::to_string(v); }
+  static std::string to_field(unsigned v) { return std::to_string(v); }
+  static std::string to_field(unsigned long long v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dash::util

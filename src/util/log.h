@@ -1,0 +1,45 @@
+// log.h -- minimal leveled logging to stderr. Benches use INFO for
+// progress lines; tests run at WARN to keep ctest output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dash::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted log line (timestamped).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dash::util
+
+#define DASH_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::dash::util::log_level())) \
+    ;                                                        \
+  else                                                       \
+    ::dash::util::detail::LogStream(level)
+
+#define DASH_LOG_INFO DASH_LOG(::dash::util::LogLevel::kInfo)
+#define DASH_LOG_WARN DASH_LOG(::dash::util::LogLevel::kWarn)
+#define DASH_LOG_DEBUG DASH_LOG(::dash::util::LogLevel::kDebug)

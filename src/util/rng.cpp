@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member and so future out-of-line additions have a home.

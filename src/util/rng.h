@@ -1,0 +1,124 @@
+// rng.h -- deterministic, fast pseudo-random number generation.
+//
+// Experiments must be exactly reproducible from a single 64-bit seed, so we
+// avoid std::mt19937 (whose distributions are implementation-defined) and
+// implement xoshiro256** seeded via splitmix64, plus bias-free bounded
+// integers (Lemire's method) and the distributions the library needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dash::util {
+
+/// splitmix64: used to expand one 64-bit seed into generator state.
+/// Passes BigCrush as a 64-bit mixer; recommended by the xoshiro authors.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small state, excellent quality,
+/// and -- unlike std::mt19937 -- identical streams on every platform.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initialize the stream from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Bitmask rejection sampling; exactly uniform, no 128-bit arithmetic.
+  std::uint64_t below(std::uint64_t bound) {
+    DASH_CHECK(bound > 0);
+    if (bound == 1) return 0;
+    // Smallest all-ones mask covering bound-1.
+    std::uint64_t mask = bound - 1;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    for (;;) {
+      const std::uint64_t candidate = next_u64() & mask;
+      if (candidate < bound) return candidate;
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t in_range(std::int64_t lo, std::int64_t hi) {
+    DASH_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle of an entire vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    DASH_CHECK(!v.empty());
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Fork an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and of each other. Used to
+  /// give each experiment instance its own stream.
+  Rng fork(std::uint64_t tag) {
+    std::uint64_t mix = next_u64() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dash::util

@@ -1,0 +1,62 @@
+// stats.h -- summary statistics for experiment series.
+//
+// Everything the figure-reproduction harness reports flows through
+// Summary (batch) or OnlineStats (streaming, Welford). Both are exact in
+// the sense of using numerically stable accumulation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dash::util {
+
+/// Batch summary of a sample: order statistics plus moments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval of
+  /// the mean (1.96 * stddev / sqrt(n)); 0 when count < 2.
+  double ci95_halfwidth() const;
+
+  std::string to_string() const;
+};
+
+/// Compute the batch summary of `xs`. Empty input yields a zero Summary.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile (type-7, the numpy default). q in [0,1].
+double quantile(std::vector<double> xs, double q);
+
+/// Streaming mean/variance via Welford's algorithm; O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void merge(const OnlineStats& other);  ///< parallel-combine two streams
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares slope of y against x; used to sanity-check growth rates
+/// (e.g. "max degree increase grows ~ c*log n" => slope of y vs log2(n)).
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dash::util

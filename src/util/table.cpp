@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dash::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DASH_CHECK(!header_.empty());
+}
+
+Table& Table::begin_row() {
+  DASH_CHECK_MSG(rows_.empty() || rows_.back().size() == header_.size(),
+                 "previous table row is incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  DASH_CHECK_MSG(!rows_.empty(), "cell() before begin_row()");
+  DASH_CHECK_MSG(rows_.back().size() < header_.size(), "too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad)
+        out << ' ';
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dash::util

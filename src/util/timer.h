@@ -1,0 +1,23 @@
+// timer.h -- wall-clock helpers for coarse experiment timing.
+#pragma once
+
+#include <chrono>
+
+namespace dash::util {
+
+/// Simple stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dash::util

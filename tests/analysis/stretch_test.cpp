@@ -1,0 +1,86 @@
+#include "analysis/stretch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dash::analysis {
+namespace {
+
+using graph::Graph;
+
+TEST(Stretch, IdentityGraphHasStretchOne) {
+  const Graph g = graph::cycle_graph(8);
+  const StretchTracker tracker(g);
+  EXPECT_DOUBLE_EQ(tracker.max_stretch(g), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.average_stretch(g), 1.0);
+}
+
+TEST(Stretch, OriginalDistancesFrozen) {
+  const Graph g = graph::path_graph(4);
+  const StretchTracker tracker(g);
+  EXPECT_EQ(tracker.original_distance(0, 3), 3u);
+  EXPECT_EQ(tracker.original_distance(1, 2), 1u);
+}
+
+TEST(Stretch, DetourIncreasesStretch) {
+  // Cycle 0-1-2-3-4-5-0; delete node 1 and reconnect 0-2 directly:
+  // distances are preserved => stretch 1. Instead reconnect nothing and
+  // the pair (0,2) must go the long way: distance 4 vs original 2.
+  Graph g = graph::cycle_graph(6);
+  const StretchTracker tracker(g);
+  g.delete_node(1);
+  EXPECT_DOUBLE_EQ(tracker.max_stretch(g), 2.0);  // (0,2): 4/2
+}
+
+TEST(Stretch, HealedEdgeRestoresStretch) {
+  Graph g = graph::cycle_graph(6);
+  const StretchTracker tracker(g);
+  g.delete_node(1);
+  g.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(tracker.max_stretch(g), 1.0);
+}
+
+TEST(Stretch, DisconnectedIsInfinite) {
+  Graph g = graph::path_graph(4);
+  const StretchTracker tracker(g);
+  g.delete_node(1);
+  EXPECT_TRUE(std::isinf(tracker.max_stretch(g)));
+  EXPECT_TRUE(std::isinf(tracker.average_stretch(g)));
+}
+
+TEST(Stretch, FewAliveNodesIsZero) {
+  Graph g = graph::path_graph(3);
+  const StretchTracker tracker(g);
+  g.delete_node(0);
+  g.delete_node(1);
+  EXPECT_DOUBLE_EQ(tracker.max_stretch(g), 0.0);
+}
+
+TEST(Stretch, AverageBelowMax) {
+  Graph g = graph::cycle_graph(8);
+  const StretchTracker tracker(g);
+  g.delete_node(1);
+  g.add_edge(0, 2);  // partial repair elsewhere still shifts distances
+  g.delete_node(5);
+  g.add_edge(4, 6);
+  const double avg = tracker.average_stretch(g);
+  const double mx = tracker.max_stretch(g);
+  EXPECT_LE(avg, mx);
+  // Chord edges can shrink distances below the original, so the average
+  // may dip under 1; it must stay positive and finite.
+  EXPECT_GT(avg, 0.0);
+  EXPECT_FALSE(std::isinf(avg));
+}
+
+TEST(Stretch, RequiresConnectedBaseline) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_DEATH(StretchTracker tracker(g), "connected");
+}
+
+}  // namespace
+}  // namespace dash::analysis

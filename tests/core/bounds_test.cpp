@@ -1,0 +1,47 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dash::core::bounds {
+namespace {
+
+TEST(Bounds, DashDeltaBound) {
+  EXPECT_DOUBLE_EQ(dash_delta_bound(1024), 20.0);
+  EXPECT_DOUBLE_EQ(dash_delta_bound(2), 2.0);
+  EXPECT_DOUBLE_EQ(dash_delta_bound(1), 0.0);
+}
+
+TEST(Bounds, MessageBoundFormula) {
+  // 2 * (d + 2 log2 n) * ln n at d=0: 4 log2(n) ln(n).
+  const double expect = 4.0 * std::log2(256.0) * std::log(256.0);
+  EXPECT_NEAR(message_bound(0, 256), expect, 1e-9);
+  // Monotone in d and n.
+  EXPECT_GT(message_bound(10, 256), message_bound(0, 256));
+  EXPECT_GT(message_bound(0, 512), message_bound(0, 256));
+}
+
+TEST(Bounds, IdChangeBound) {
+  EXPECT_NEAR(id_change_bound(256), 2.0 * std::log(256.0), 1e-12);
+}
+
+TEST(Bounds, LowerBoundDeltaIsTreeDepth) {
+  // (M+2)-ary complete tree of depth D has > (M+2)^D nodes, so the
+  // bound evaluated at the exact node count is >= D - 1 and <= D.
+  // For M=2 (4-ary), depth 4 => n = 341: log_4(341) ~ 4.2 -> floor 4.
+  EXPECT_DOUBLE_EQ(lower_bound_delta(341, 2), 4.0);
+  EXPECT_DOUBLE_EQ(lower_bound_delta(21, 2), 2.0);
+  // 5-ary tree of depth 5: n = (5^6 - 1)/4 = 3906; log_5(3906) ~ 5.14.
+  EXPECT_DOUBLE_EQ(lower_bound_delta(3906, 3), 5.0);
+}
+
+TEST(Bounds, TreeDegreeSumIncrease) {
+  EXPECT_EQ(tree_degree_sum_increase(1), -1);
+  EXPECT_EQ(tree_degree_sum_increase(2), 0);
+  EXPECT_EQ(tree_degree_sum_increase(3), 1);
+  EXPECT_EQ(tree_degree_sum_increase(10), 8);
+}
+
+}  // namespace
+}  // namespace dash::core::bounds

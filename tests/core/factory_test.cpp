@@ -1,0 +1,61 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dash::core {
+namespace {
+
+TEST(Factory, AllCanonicalNames) {
+  EXPECT_EQ(make_strategy("dash")->name(), "DASH");
+  EXPECT_EQ(make_strategy("sdash")->name(), "SDASH");
+  EXPECT_EQ(make_strategy("graph")->name(), "GraphHeal");
+  EXPECT_EQ(make_strategy("binarytree")->name(), "BinaryTreeHeal");
+  EXPECT_EQ(make_strategy("line")->name(), "LineHeal");
+  EXPECT_EQ(make_strategy("none")->name(), "NoHeal");
+  EXPECT_EQ(make_strategy("capped:3")->name(), "DegreeCapped(M=3)");
+}
+
+TEST(Factory, SdashSlackVariant) {
+  EXPECT_EQ(make_strategy("sdash:0")->name(), "SDASH");
+  EXPECT_EQ(make_strategy("sdash:4")->name(), "SDASH(slack=4)");
+}
+
+TEST(Factory, AliasesAndCase) {
+  EXPECT_EQ(make_strategy("DASH")->name(), "DASH");
+  EXPECT_EQ(make_strategy("GraphHeal")->name(), "GraphHeal");
+  EXPECT_EQ(make_strategy("btree")->name(), "BinaryTreeHeal");
+  EXPECT_EQ(make_strategy("NoHeal")->name(), "NoHeal");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_strategy(""), std::invalid_argument);
+}
+
+TEST(Factory, PaperStrategySetIsComplete) {
+  const auto strategies = paper_strategies();
+  ASSERT_EQ(strategies.size(), 5u);
+  EXPECT_EQ(strategies[0]->name(), "GraphHeal");
+  EXPECT_EQ(strategies[1]->name(), "LineHeal");
+  EXPECT_EQ(strategies[2]->name(), "BinaryTreeHeal");
+  EXPECT_EQ(strategies[3]->name(), "DASH");
+  EXPECT_EQ(strategies[4]->name(), "SDASH");
+}
+
+TEST(Factory, ClonePreservesBehavior) {
+  for (const auto& name : {"dash", "sdash", "graph", "line"}) {
+    const auto proto = make_strategy(name);
+    const auto copy = proto->clone();
+    EXPECT_EQ(proto->name(), copy->name());
+    EXPECT_EQ(proto->maintains_forest(), copy->maintains_forest());
+  }
+}
+
+TEST(Factory, NamesListNonEmpty) {
+  EXPECT_FALSE(strategy_names().empty());
+}
+
+}  // namespace
+}  // namespace dash::core

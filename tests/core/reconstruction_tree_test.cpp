@@ -1,0 +1,97 @@
+#include "core/reconstruction_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dash::core {
+namespace {
+
+TEST(BinaryTree, SmallSizes) {
+  EXPECT_TRUE(complete_binary_tree_edges(0).empty());
+  EXPECT_TRUE(complete_binary_tree_edges(1).empty());
+  using E = std::vector<std::pair<std::size_t, std::size_t>>;
+  EXPECT_EQ(complete_binary_tree_edges(2), (E{{0, 1}}));
+  EXPECT_EQ(complete_binary_tree_edges(4), (E{{0, 1}, {0, 2}, {1, 3}}));
+}
+
+TEST(BinaryTree, EdgeCountIsKMinusOne) {
+  for (std::size_t k : {2u, 3u, 7u, 16u, 33u}) {
+    EXPECT_EQ(complete_binary_tree_edges(k).size(), k - 1);
+  }
+}
+
+TEST(BinaryTree, MaxDegreeIsThree) {
+  // Every slot appears in at most 3 edges (parent + two children).
+  constexpr std::size_t k = 25;
+  std::vector<int> deg(k, 0);
+  for (auto [a, b] : complete_binary_tree_edges(k)) {
+    ++deg[a];
+    ++deg[b];
+  }
+  for (auto d : deg) EXPECT_LE(d, 3);
+  EXPECT_LE(deg[0], 2);  // root has no parent
+}
+
+TEST(BinaryTree, AtLeastHalfAreLeaves) {
+  for (std::size_t k = 1; k <= 40; ++k) {
+    std::size_t leaves = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (binary_tree_is_leaf(i, k)) ++leaves;
+    }
+    EXPECT_GE(2 * leaves, k) << "k=" << k;
+  }
+}
+
+TEST(BinaryTree, LeafPredicateMatchesEdges) {
+  constexpr std::size_t k = 13;
+  std::vector<int> children(k, 0);
+  for (auto [a, b] : complete_binary_tree_edges(k)) {
+    (void)b;
+    ++children[a];
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(binary_tree_is_leaf(i, k), children[i] == 0) << "i=" << i;
+  }
+}
+
+TEST(BinaryTree, DepthOfSlots) {
+  EXPECT_EQ(binary_tree_depth_of(0), 0u);
+  EXPECT_EQ(binary_tree_depth_of(1), 1u);
+  EXPECT_EQ(binary_tree_depth_of(2), 1u);
+  EXPECT_EQ(binary_tree_depth_of(3), 2u);
+  EXPECT_EQ(binary_tree_depth_of(6), 2u);
+  EXPECT_EQ(binary_tree_depth_of(7), 3u);
+}
+
+TEST(BinaryTree, DepthIsLogarithmic) {
+  // Depth of the last slot of a k-slot complete tree is floor(log2(k)).
+  for (std::size_t k : {2u, 3u, 4u, 8u, 15u, 16u, 100u}) {
+    const std::size_t depth = binary_tree_depth_of(k - 1);
+    EXPECT_LE(1u << depth, k);
+    EXPECT_GT(1u << (depth + 1), k / 2);
+  }
+}
+
+TEST(Line, EdgesFormAPath) {
+  using E = std::vector<std::pair<std::size_t, std::size_t>>;
+  EXPECT_TRUE(line_edges(1).empty());
+  EXPECT_EQ(line_edges(4), (E{{0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(Star, EdgesCenterEverywhere) {
+  const auto edges = star_edges(5, 2);
+  EXPECT_EQ(edges.size(), 4u);
+  for (auto [c, x] : edges) {
+    EXPECT_EQ(c, 2u);
+    EXPECT_NE(x, 2u);
+  }
+}
+
+TEST(Star, TrivialSizes) {
+  EXPECT_TRUE(star_edges(0, 0).empty());
+  EXPECT_TRUE(star_edges(1, 0).empty());
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,136 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace dash::graph {
+namespace {
+
+using dash::util::Rng;
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  Rng rng(1);
+  for (std::size_t n : {10u, 50u, 200u}) {
+    const Graph g = barabasi_albert(n, 2, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(is_connected(g));
+    // Star seed has m edges; each of the n-m-1 later nodes adds m.
+    EXPECT_EQ(g.num_edges(), 2 + (n - 3) * 2);
+  }
+}
+
+TEST(BarabasiAlbert, AttachedNodesHaveDegreeAtLeastM) {
+  // Nodes beyond the seed star each attach with exactly m edges and can
+  // only gain more; seed-star leaves may stay at degree 1.
+  Rng rng(2);
+  const Graph g = barabasi_albert(100, 3, rng);
+  for (NodeId v = 4; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 3u);
+  }
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  // Preferential attachment should produce a hub well above the mean.
+  Rng rng(3);
+  const Graph g = barabasi_albert(500, 2, rng);
+  EXPECT_GT(max_degree(g), 4 * static_cast<std::size_t>(average_degree(g)));
+}
+
+TEST(BarabasiAlbert, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const Graph g1 = barabasi_albert(60, 2, a);
+  const Graph g2 = barabasi_albert(60, 2, b);
+  EXPECT_TRUE(g1.same_topology(g2));
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Rng rng(4);
+  const std::size_t n = 300;
+  const double p = 0.05;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1)) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  Rng rng(5);
+  EXPECT_EQ(erdos_renyi_gnp(20, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(ErdosRenyi, ConnectedVariantIsConnected) {
+  Rng rng(6);
+  const Graph g = connected_gnp(100, 0.08, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomTree, IsTree) {
+  Rng rng(8);
+  for (std::size_t n : {2u, 10u, 100u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(KaryTree, StructureMetadata) {
+  const KaryTree t = complete_kary_tree(3, 2);
+  EXPECT_EQ(t.g.num_nodes(), 13u);  // 1 + 3 + 9
+  EXPECT_EQ(t.g.num_edges(), 12u);
+  EXPECT_TRUE(is_connected(t.g));
+  EXPECT_EQ(t.parent[0], kInvalidNode);
+  EXPECT_EQ(t.level[0], 0u);
+  EXPECT_EQ(t.children[0].size(), 3u);
+  for (NodeId c : t.children[0]) {
+    EXPECT_EQ(t.parent[c], 0u);
+    EXPECT_EQ(t.level[c], 1u);
+    EXPECT_EQ(t.children[c].size(), 3u);
+  }
+  // Deepest level nodes are leaves.
+  for (NodeId v = 4; v < 13; ++v) {
+    EXPECT_EQ(t.level[v], 2u);
+    EXPECT_TRUE(t.children[v].empty());
+    EXPECT_EQ(t.g.degree(v), 1u);
+  }
+}
+
+TEST(KaryTree, DepthZeroIsSingleRoot) {
+  const KaryTree t = complete_kary_tree(4, 0);
+  EXPECT_EQ(t.g.num_nodes(), 1u);
+  EXPECT_EQ(t.g.num_edges(), 0u);
+}
+
+TEST(StructuredGraphs, PathCycleStarCompleteGrid) {
+  EXPECT_EQ(path_graph(4).num_edges(), 3u);
+  EXPECT_EQ(cycle_graph(4).num_edges(), 4u);
+  EXPECT_EQ(star_graph(5).num_edges(), 4u);
+  EXPECT_EQ(star_graph(5).degree(0), 4u);
+  EXPECT_EQ(complete_graph(6).num_edges(), 15u);
+  const Graph grid = grid_graph(3, 4);
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  EXPECT_EQ(grid.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(grid));
+}
+
+TEST(WattsStrogatz, PreservesEdgeCountAndConnectivityAtLowBeta) {
+  Rng rng(9);
+  const Graph g = watts_strogatz(100, 3, 0.1, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);  // rewiring preserves count
+  EXPECT_TRUE(is_connected(g));    // k=3 lattice survives 10% rewiring
+}
+
+TEST(WattsStrogatz, BetaZeroIsLattice) {
+  Rng rng(10);
+  const Graph g = watts_strogatz(20, 2, 0.0, rng);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+}  // namespace
+}  // namespace dash::graph

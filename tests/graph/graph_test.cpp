@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dash::graph {
+namespace {
+
+TEST(Graph, StartsIsolatedAndAlive) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_alive(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.alive(v));
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+}
+
+TEST(Graph, AddEdgeIsSymmetricAndIdempotent) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate, reversed
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, AdjacencyStaysSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.neighbors(2), (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, DeleteNodeReturnsNeighborsAndCleansUp) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+
+  const auto nbrs = g.delete_node(2);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_FALSE(g.alive(2));
+  EXPECT_EQ(g.num_alive(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);  // only {0,1} remains
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.neighbors(3), std::vector<NodeId>{});
+}
+
+TEST(Graph, DeleteIsolatedNode) {
+  Graph g(2);
+  const auto nbrs = g.delete_node(0);
+  EXPECT_TRUE(nbrs.empty());
+  EXPECT_EQ(g.num_alive(), 1u);
+}
+
+TEST(Graph, HasEdgeFalseForDeadEndpoint) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.delete_node(1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddNodeExtends) {
+  Graph g(2);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.alive(v));
+  g.add_edge(v, 0);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, AliveNodesAscending) {
+  Graph g(5);
+  g.delete_node(1);
+  g.delete_node(3);
+  EXPECT_EQ(g.alive_nodes(), (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(Graph, OperationsOnDeadNodeAbort) {
+  Graph g(3);
+  g.delete_node(1);
+  EXPECT_DEATH(g.add_edge(0, 1), "deleted node");
+  EXPECT_DEATH(g.delete_node(1), "deleted node");
+  EXPECT_DEATH((void)g.neighbors(1), "deleted node");
+}
+
+TEST(Graph, SelfLoopAborts) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loop");
+}
+
+TEST(Graph, SameTopology) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(a.same_topology(b));
+  b.add_edge(1, 2);
+  EXPECT_FALSE(a.same_topology(b));
+  a.add_edge(1, 2);
+  EXPECT_TRUE(a.same_topology(b));
+  a.delete_node(2);
+  EXPECT_FALSE(a.same_topology(b));
+  b.delete_node(2);
+  EXPECT_TRUE(a.same_topology(b));
+}
+
+TEST(Graph, EdgeCountTracksDeletions) {
+  Graph g(10);
+  for (NodeId v = 1; v < 10; ++v) g.add_edge(0, v);
+  EXPECT_EQ(g.num_edges(), 9u);
+  g.delete_node(0);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace dash::graph

@@ -1,0 +1,152 @@
+#include "graph/non_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dash.h"
+#include "core/healing_state.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dash::graph {
+namespace {
+
+using dash::util::Rng;
+
+TEST(NonIndex, InitialKnowledgeOnPath) {
+  // Path 0-1-2-3: node 0 knows 1 (direct) and 2 (via 1) but not 3.
+  const Graph g = path_graph(4);
+  const NonIndex non(g);
+  EXPECT_TRUE(non.knows(0, 0));
+  EXPECT_TRUE(non.knows(0, 1));
+  EXPECT_TRUE(non.knows(0, 2));
+  EXPECT_FALSE(non.knows(0, 3));
+  EXPECT_TRUE(non.knows(1, 3));
+  EXPECT_EQ(non.knowledge_size(0), 2u);
+  EXPECT_EQ(non.knowledge_size(1), 3u);
+}
+
+TEST(NonIndex, StarHubAndLeaves) {
+  const Graph g = star_graph(5);
+  const NonIndex non(g);
+  // Every leaf knows every other leaf through the hub.
+  for (NodeId a = 1; a < 5; ++a) {
+    for (NodeId b = 1; b < 5; ++b) {
+      EXPECT_TRUE(non.knows(a, b));
+    }
+  }
+  EXPECT_EQ(non.knowledge_size(1), 4u);
+}
+
+TEST(NonIndex, AddEdgeUpdatesBothSides) {
+  Graph g = path_graph(4);
+  NonIndex non(g);
+  g.add_edge(0, 3);
+  non.on_add_edge(g, 0, 3);
+  EXPECT_TRUE(non.knows(0, 3));
+  EXPECT_TRUE(non.knows(1, 3));  // via 0
+  EXPECT_TRUE(non.knows(2, 0));  // via 3 (and via 1)
+  EXPECT_TRUE(non.consistent_with(g));
+}
+
+TEST(NonIndex, DeleteNodeForgetsPathsThroughIt) {
+  Graph g = path_graph(4);
+  NonIndex non(g);
+  const auto nbrs = g.delete_node(1);
+  non.on_delete_node(g, 1, nbrs);
+  EXPECT_FALSE(non.knows(0, 2));
+  EXPECT_FALSE(non.knows(0, 1));
+  EXPECT_TRUE(non.knows(2, 3));
+  EXPECT_TRUE(non.consistent_with(g));
+}
+
+TEST(NonIndex, RedundantPathsSurviveSingleRemoval) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Node 0 knows 3 via both 1 and 2;
+  // deleting 1 must keep 0's knowledge of 3 through 2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  NonIndex non(g);
+  EXPECT_TRUE(non.knows(0, 3));
+  const auto nbrs = g.delete_node(1);
+  non.on_delete_node(g, 1, nbrs);
+  EXPECT_TRUE(non.knows(0, 3));
+  EXPECT_TRUE(non.consistent_with(g));
+}
+
+TEST(NonIndex, MaintenanceMessagesAccumulate) {
+  Graph g = path_graph(3);
+  NonIndex non(g);
+  const auto before = non.maintenance_messages();
+  g.add_edge(0, 2);
+  non.on_add_edge(g, 0, 2);
+  EXPECT_GT(non.maintenance_messages(), before);
+}
+
+TEST(NonIndex, RandomMutationSequenceStaysConsistent) {
+  Rng rng(7);
+  Graph g = barabasi_albert(40, 2, rng);
+  NonIndex non(g);
+  Rng pick(11);
+  for (int step = 0; step < 60 && g.num_alive() > 3; ++step) {
+    if (pick.chance(0.5)) {
+      // Random edge insertion between distinct alive non-adjacent nodes.
+      const auto alive = g.alive_nodes();
+      const NodeId a =
+          alive[static_cast<std::size_t>(pick.below(alive.size()))];
+      const NodeId b =
+          alive[static_cast<std::size_t>(pick.below(alive.size()))];
+      if (a != b && !g.has_edge(a, b)) {
+        g.add_edge(a, b);
+        non.on_add_edge(g, a, b);
+      }
+    } else {
+      const auto alive = g.alive_nodes();
+      const NodeId v =
+          alive[static_cast<std::size_t>(pick.below(alive.size()))];
+      const auto nbrs = g.delete_node(v);
+      non.on_delete_node(g, v, nbrs);
+    }
+    ASSERT_TRUE(non.consistent_with(g)) << "step " << step;
+  }
+}
+
+TEST(NonIndex, SufficesForDashReconnection) {
+  // The paper's locality claim: every pair in a deletion's
+  // reconnection set is mutually known via the deleted node, so the RT
+  // can be computed from NoN knowledge alone. Verify along a schedule.
+  Rng rng(13);
+  Graph g = barabasi_albert(64, 2, rng);
+  NonIndex non(g);
+  core::HealingState st(g, rng);
+  core::DashStrategy dash;
+  Rng pick(17);
+  while (g.num_alive() > 2) {
+    const auto alive = g.alive_nodes();
+    const NodeId v =
+        alive[static_cast<std::size_t>(pick.below(alive.size()))];
+
+    // Check *before* the deletion: all future RT members know each
+    // other (they are all neighbors of v).
+    const auto& nbrs_of_v = g.neighbors(v);
+    for (NodeId a : nbrs_of_v) {
+      for (NodeId b : nbrs_of_v) {
+        ASSERT_TRUE(non.knows(a, b))
+            << a << " does not know " << b << " around victim " << v;
+      }
+    }
+
+    const core::DeletionContext ctx = st.begin_deletion(g, v);
+    const auto nbrs = g.delete_node(v);
+    non.on_delete_node(g, v, nbrs);
+    const auto action = dash.heal(g, st, ctx);
+    for (auto [a, b] : action.new_graph_edges) {
+      non.on_add_edge(g, a, b);
+    }
+    ASSERT_TRUE(non.consistent_with(g));
+  }
+}
+
+}  // namespace
+}  // namespace dash::graph

@@ -1,0 +1,63 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace dash::graph {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_FALSE(uf.connected(0, 1));
+  EXPECT_EQ(uf.set_size(2), 1u);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.set_size(0), 2u);
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.connected(3, 4));
+  EXPECT_FALSE(uf.connected(2, 3));
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.connected(0, 4));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(4), 5u);
+}
+
+TEST(UnionFind, ResetRestores) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.reset(2);
+  EXPECT_EQ(uf.size(), 2u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, LargeChainCompresses) {
+  constexpr std::size_t kN = 10000;
+  UnionFind uf(kN);
+  for (NodeId v = 1; v < kN; ++v) uf.unite(v - 1, v);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.connected(0, kN - 1));
+  EXPECT_EQ(uf.set_size(0), kN);
+}
+
+TEST(UnionFind, FindOutOfRangeAborts) {
+  UnionFind uf(2);
+  EXPECT_DEATH(uf.find(5), "");
+}
+
+}  // namespace
+}  // namespace dash::graph

@@ -1,0 +1,242 @@
+#include "sim/distributed_dash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/factory.h"
+#include "core/dash.h"
+#include "core/healing_state.h"
+#include "core/sdash.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace dash::sim {
+namespace {
+
+using core::DeletionContext;
+using core::HealingState;
+using dash::util::Rng;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(DistributedDash, HealsStarDeletion) {
+  Rng rng(1);
+  DistributedDashSim sim(graph::star_graph(8), rng);
+  const auto rounds = sim.delete_and_heal(0);
+  EXPECT_TRUE(graph::is_connected(sim.network()));
+  EXPECT_GE(rounds, 1u);
+  EXPECT_EQ(sim.metrics().reconnect_rounds.back(), 1u);
+}
+
+TEST(DistributedDash, MatchesSequentialEngineTopology) {
+  // Same seed stream => same initial ids => identical healing decisions.
+  for (std::uint64_t seed : {3ULL, 7ULL, 21ULL}) {
+    Rng rng_graph(seed);
+    const Graph g0 = graph::barabasi_albert(48, 2, rng_graph);
+
+    Rng rng_seq(seed + 1000);
+    Graph g_seq = g0;
+    HealingState st(g_seq, rng_seq);
+    core::DashStrategy dash;
+
+    Rng rng_sim(seed + 1000);
+    DistributedDashSim sim(g0, rng_sim);
+
+    // Identical deterministic deletion sequence (max-degree victim).
+    while (g_seq.num_alive() > 1) {
+      const NodeId victim = [&] {
+        NodeId best = graph::kInvalidNode;
+        std::size_t best_deg = 0;
+        for (NodeId v = 0; v < g_seq.num_nodes(); ++v) {
+          if (!g_seq.alive(v)) continue;
+          if (best == graph::kInvalidNode || g_seq.degree(v) > best_deg) {
+            best = v;
+            best_deg = g_seq.degree(v);
+          }
+        }
+        return best;
+      }();
+      const DeletionContext ctx = st.begin_deletion(g_seq, victim);
+      g_seq.delete_node(victim);
+      dash.heal(g_seq, st, ctx);
+      sim.delete_and_heal(victim);
+      ASSERT_TRUE(g_seq.same_topology(sim.network()));
+    }
+  }
+}
+
+TEST(DistributedDash, ComponentIdsConvergeToSequentialFixedPoint) {
+  Rng rng_a(5), rng_b(5);
+  const Graph g0 = graph::star_graph(16);
+  Graph g_seq = g0;
+  HealingState st(g_seq, rng_a);
+  core::DashStrategy dash;
+  DistributedDashSim sim(g0, rng_b);
+
+  const DeletionContext ctx = st.begin_deletion(g_seq, 0);
+  g_seq.delete_node(0);
+  dash.heal(g_seq, st, ctx);
+  sim.delete_and_heal(0);
+
+  for (NodeId v = 1; v < 16; ++v) {
+    EXPECT_EQ(sim.component_id(v), st.component_id(v)) << "node " << v;
+  }
+  EXPECT_EQ(sim.max_delta(), st.max_delta_ever());
+}
+
+TEST(DistributedDash, ReconnectLatencyAlwaysConstant) {
+  Rng rng(6);
+  DistributedDashSim sim(graph::barabasi_albert(64, 2, rng), rng);
+  while (sim.network().num_alive() > 1) {
+    // Reuse attack logic manually: pick neighbor of max-degree node.
+    const auto& g = sim.network();
+    NodeId hub = graph::kInvalidNode;
+    std::size_t best = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.alive(v) && (hub == graph::kInvalidNode || g.degree(v) > best)) {
+        hub = v;
+        best = g.degree(v);
+      }
+    }
+    sim.delete_and_heal(hub);
+  }
+  for (auto r : sim.metrics().reconnect_rounds) EXPECT_EQ(r, 1u);
+}
+
+TEST(DistributedDash, PropagationLatencyAmortizedLogarithmic) {
+  // Lemma 9: over Theta(n) deletions the amortized id-propagation
+  // latency is O(log n) whp; allow a generous constant.
+  Rng rng(8);
+  const std::size_t n = 256;
+  DistributedDashSim sim(graph::barabasi_albert(n, 2, rng), rng);
+  while (sim.network().num_alive() > 1) {
+    const auto& g = sim.network();
+    NodeId hub = graph::kInvalidNode;
+    std::size_t best = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.alive(v) && (hub == graph::kInvalidNode || g.degree(v) > best)) {
+        hub = v;
+        best = g.degree(v);
+      }
+    }
+    sim.delete_and_heal(hub);
+  }
+  EXPECT_LE(sim.metrics().mean_propagation_rounds(),
+            4.0 * std::log2(static_cast<double>(n)));
+}
+
+TEST(DistributedDash, MessageAccountingMonotone) {
+  Rng rng(9);
+  DistributedDashSim sim(graph::star_graph(10), rng);
+  const auto before = sim.metrics().total_messages;
+  sim.delete_and_heal(0);
+  EXPECT_GT(sim.metrics().total_messages, before);
+  EXPECT_GE(sim.metrics().max_messages_per_node(), 1u);
+}
+
+TEST(DistributedDash, ForestAdjacencyMirrorsHealing) {
+  Rng rng(10);
+  DistributedDashSim sim(graph::star_graph(5), rng);
+  sim.delete_and_heal(0);
+  // 4 leaves reconnected by 3 forest edges.
+  std::size_t forest_degree_sum = 0;
+  for (NodeId v = 1; v < 5; ++v) {
+    forest_degree_sum += sim.forest_neighbors(v).size();
+  }
+  EXPECT_EQ(forest_degree_sum, 6u);
+}
+
+TEST(DistributedSdash, MatchesSequentialSdashTopology) {
+  core::SdashStrategy sdash;
+  for (std::uint64_t seed : {11ULL, 23ULL}) {
+    Rng rng_graph(seed);
+    const Graph g0 = graph::barabasi_albert(48, 2, rng_graph);
+
+    Rng rng_seq(seed + 500);
+    Graph g_seq = g0;
+    HealingState st(g_seq, rng_seq);
+
+    Rng rng_sim(seed + 500);
+    DistributedDashSim sim(g0, rng_sim, 1, SimHealPolicy::kSdash);
+
+    while (g_seq.num_alive() > 1) {
+      NodeId best = graph::kInvalidNode;
+      std::size_t best_deg = 0;
+      for (NodeId v = 0; v < g_seq.num_nodes(); ++v) {
+        if (!g_seq.alive(v)) continue;
+        if (best == graph::kInvalidNode || g_seq.degree(v) > best_deg) {
+          best = v;
+          best_deg = g_seq.degree(v);
+        }
+      }
+      const DeletionContext ctx = st.begin_deletion(g_seq, best);
+      g_seq.delete_node(best);
+      sdash.heal(g_seq, st, ctx);
+      sim.delete_and_heal(best);
+      ASSERT_TRUE(g_seq.same_topology(sim.network()));
+    }
+    EXPECT_EQ(sim.max_delta(), st.max_delta_ever());
+  }
+}
+
+TEST(DistributedDashAsync, FixedPointIndependentOfDelay) {
+  // Monotone min-id gossip converges to the same component labels no
+  // matter how messages are delayed.
+  for (std::uint32_t delay : {1u, 2u, 5u}) {
+    Rng rng_sync(42), rng_async(42);
+    const Graph g0 = [] {
+      Rng r(7);
+      return graph::barabasi_albert(48, 2, r);
+    }();
+    DistributedDashSim sync_sim(g0, rng_sync, 1);
+    DistributedDashSim async_sim(g0, rng_async, delay);
+    while (sync_sim.network().num_alive() > 1) {
+      NodeId hub = graph::kInvalidNode;
+      std::size_t best = 0;
+      const auto& g = sync_sim.network();
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (g.alive(v) && (hub == graph::kInvalidNode ||
+                           g.degree(v) > best)) {
+          hub = v;
+          best = g.degree(v);
+        }
+      }
+      sync_sim.delete_and_heal(hub);
+      async_sim.delete_and_heal(hub);
+      ASSERT_TRUE(sync_sim.network().same_topology(async_sim.network()));
+      for (NodeId v : sync_sim.network().alive_nodes()) {
+        ASSERT_EQ(sync_sim.component_id(v), async_sim.component_id(v));
+      }
+    }
+  }
+}
+
+TEST(DistributedDashAsync, DelayStretchesLatencyOnly) {
+  Rng rng_a(9), rng_b(9);
+  const Graph g0 = graph::star_graph(64);
+  DistributedDashSim fast(g0, rng_a, 1);
+  DistributedDashSim slow(g0, rng_b, 4);
+  fast.delete_and_heal(0);
+  slow.delete_and_heal(0);
+  EXPECT_EQ(fast.max_delta(), slow.max_delta());
+  EXPECT_GE(slow.metrics().max_propagation_rounds(),
+            fast.metrics().max_propagation_rounds());
+  // Reconnection itself stays one round in both models.
+  EXPECT_EQ(fast.metrics().reconnect_rounds.back(), 1u);
+  EXPECT_EQ(slow.metrics().reconnect_rounds.back(), 1u);
+}
+
+TEST(SimMetrics, Accessors) {
+  SimMetrics m;
+  EXPECT_EQ(m.max_messages_per_node(), 0u);
+  EXPECT_EQ(m.max_id_changes(), 0u);
+  EXPECT_EQ(m.mean_propagation_rounds(), 0.0);
+  m.propagation_rounds = {1, 3, 2};
+  EXPECT_EQ(m.max_propagation_rounds(), 3u);
+  EXPECT_DOUBLE_EQ(m.mean_propagation_rounds(), 2.0);
+}
+
+}  // namespace
+}  // namespace dash::sim

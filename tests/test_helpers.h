@@ -1,0 +1,50 @@
+// test_helpers.h -- shared machinery for schedule-level tests: run an
+// attack/heal loop with the full invariant battery enabled and return
+// the result, failing loudly on any violation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/experiment.h"
+#include "attack/factory.h"
+#include "core/factory.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dash::testing {
+
+struct RunSpec {
+  std::string attack = "neighborofmax";
+  std::string healer = "dash";
+  std::uint64_t seed = 12345;
+  bool check_rem = false;   // DASH-only Lemma 4 bound
+  bool track_stretch = false;
+  std::size_t max_deletions = static_cast<std::size_t>(-1);
+};
+
+/// Run a full schedule on `g` with invariants on; EXPECT no violation
+/// and that the network stayed connected throughout.
+inline analysis::ScheduleResult run_checked(graph::Graph g,
+                                            const RunSpec& spec) {
+  dash::util::Rng rng(spec.seed);
+  core::HealingState state(g, rng);
+  auto attacker = attack::make_attack(spec.attack, spec.seed);
+  auto healer = core::make_strategy(spec.healer);
+
+  analysis::ScheduleConfig cfg;
+  cfg.check_invariants = true;
+  cfg.check_rem_bound = spec.check_rem;
+  cfg.check_delta_bound = (spec.healer == "dash");  // Theorem 1 is DASH's
+  cfg.track_stretch = spec.track_stretch;
+  cfg.max_deletions = spec.max_deletions;
+
+  auto result = analysis::run_schedule(g, state, *attacker, *healer, cfg);
+  EXPECT_TRUE(result.violation.empty()) << result.violation;
+  EXPECT_TRUE(result.stayed_connected)
+      << spec.healer << " lost connectivity under " << spec.attack;
+  return result;
+}
+
+}  // namespace dash::testing

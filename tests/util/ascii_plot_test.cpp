@@ -1,0 +1,73 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dash::util {
+namespace {
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  std::ostringstream out;
+  ascii_plot(out, {"1", "2", "3"},
+             {{"rising", {1.0, 2.0, 3.0}}, {"flat", {2.0, 2.0, 2.0}}});
+  const std::string s = out.str();
+  EXPECT_NE(s.find('A'), std::string::npos);
+  EXPECT_NE(s.find('B'), std::string::npos);
+  EXPECT_NE(s.find("A = rising"), std::string::npos);
+  EXPECT_NE(s.find("B = flat"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiPlot, RisingSeriesTopRightHigherThanBottomLeft) {
+  std::ostringstream out;
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 8;
+  ascii_plot(out, {"a", "b"}, {{"up", {0.0, 10.0}}}, opt);
+  const std::string s = out.str();
+  // First 'A' in the stream is the topmost occurrence: the right end.
+  const auto first_a_line_end = s.find('\n', s.find('A'));
+  const std::string first_line = s.substr(0, first_a_line_end);
+  EXPECT_NE(first_line.find('A'), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatSeriesDoesNotCrash) {
+  std::ostringstream out;
+  ascii_plot(out, {"x", "y", "z"}, {{"const", {5.0, 5.0, 5.0}}});
+  EXPECT_NE(out.str().find("A = const"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScale) {
+  std::ostringstream out;
+  PlotOptions opt;
+  opt.log_y = true;
+  ascii_plot(out, {"1", "2", "3"}, {{"exp", {1.0, 10.0, 100.0}}}, opt);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("100.00"), std::string::npos);
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleRejectsNonPositive) {
+  std::ostringstream out;
+  PlotOptions opt;
+  opt.log_y = true;
+  EXPECT_DEATH(
+      ascii_plot(out, {"1", "2"}, {{"bad", {0.0, 1.0}}}, opt),
+      "positive");
+}
+
+TEST(AsciiPlot, MismatchedLengthsAbort) {
+  std::ostringstream out;
+  EXPECT_DEATH(ascii_plot(out, {"1", "2"}, {{"short", {1.0}}}),
+               "length");
+}
+
+TEST(AsciiPlot, SinglePointSeries) {
+  std::ostringstream out;
+  ascii_plot(out, {"only"}, {{"dot", {3.0}}});
+  EXPECT_NE(out.str().find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dash::util

@@ -1,0 +1,120 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dash::util {
+namespace {
+
+/// Helper: build argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Cli, ParsesAllTypes) {
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+  bool flag = false;
+
+  Options opt("test");
+  opt.add_int("int", &i, "an int");
+  opt.add_uint("uint", &u, "a uint");
+  opt.add_double("double", &d, "a double");
+  opt.add_string("string", &s, "a string");
+  opt.add_flag("flag", &flag, "a flag");
+
+  Argv args({"prog", "--int", "-5", "--uint=7", "--double", "2.5",
+             "--string=hello", "--flag"});
+  ASSERT_TRUE(opt.parse(args.argc(), args.argv()));
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 7u);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  std::int64_t i = 42;
+  Options opt("test");
+  opt.add_int("int", &i, "an int");
+  Argv args({"prog"});
+  ASSERT_TRUE(opt.parse(args.argc(), args.argv()));
+  EXPECT_EQ(i, 42);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Options opt("test");
+  Argv args({"prog", "--nope", "1"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, RejectsBadInt) {
+  std::int64_t i = 0;
+  Options opt("test");
+  opt.add_int("int", &i, "an int");
+  Argv args({"prog", "--int", "abc"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, RejectsNegativeUint) {
+  std::uint64_t u = 0;
+  Options opt("test");
+  opt.add_uint("uint", &u, "a uint");
+  Argv args({"prog", "--uint", "-3"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  std::int64_t i = 0;
+  Options opt("test");
+  opt.add_int("int", &i, "an int");
+  Argv args({"prog", "--int"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  Options opt("test");
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+  EXPECT_TRUE(opt.help_requested());
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  bool flag = true;
+  Options opt("test");
+  opt.add_flag("flag", &flag, "a flag");
+  Argv args({"prog", "--flag=false"});
+  ASSERT_TRUE(opt.parse(args.argc(), args.argv()));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  std::int64_t i = 9;
+  Options opt("my tool");
+  opt.add_int("count", &i, "how many");
+  const std::string u = opt.usage();
+  EXPECT_NE(u.find("my tool"), std::string::npos);
+  EXPECT_NE(u.find("--count"), std::string::npos);
+  EXPECT_NE(u.find("default: 9"), std::string::npos);
+}
+
+TEST(Cli, RejectsPositional) {
+  Options opt("test");
+  Argv args({"prog", "positional"});
+  EXPECT_FALSE(opt.parse(args.argc(), args.argv()));
+}
+
+}  // namespace
+}  // namespace dash::util

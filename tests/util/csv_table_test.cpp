@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace dash::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.write(1, 2.5);
+  csv.write(std::string("x"), "y");
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\nx,y\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WidthMismatchAborts) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_DEATH(csv.write_row({"only-one"}), "CSV row width mismatch");
+}
+
+TEST(Csv, DoubleFormattingRoundTrips) {
+  EXPECT_EQ(CsvWriter::to_field(0.1), "0.1");
+  EXPECT_EQ(CsvWriter::to_field(1e-9), "1e-09");
+  EXPECT_EQ(CsvWriter::to_field(123456789.0), "123456789");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.begin_row().cell("x").cell(std::size_t{1});
+  t.begin_row().cell("longer").cell(std::size_t{22});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // Header, rule, two rows.
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+}
+
+TEST(Table, DoubleDecimals) {
+  Table t({"v"});
+  t.begin_row().cell(3.14159, 3);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, IncompleteRowAborts) {
+  Table t({"a", "b"});
+  t.begin_row().cell("only-one");
+  EXPECT_DEATH(t.begin_row(), "incomplete");
+}
+
+TEST(Table, TooManyCellsAborts) {
+  Table t({"a"});
+  t.begin_row().cell("one");
+  EXPECT_DEATH(t.cell("two"), "too many cells");
+}
+
+}  // namespace
+}  // namespace dash::util
