@@ -12,7 +12,7 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
 
   dash::bench::FigureOptions fo;
   fo.instances = 8;
@@ -28,18 +28,17 @@ int main(int argc, char** argv) {
                                        "DASH"};
   const std::vector<std::string> keys{"graph", "binarytree", "dash"};
 
-  dash::analysis::ScheduleConfig sched;
+  const dash::api::RunOptions run;
   std::vector<dash::bench::SeriesPoint> points;
   std::vector<dash::bench::SeriesPoint> edge_points;
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      const auto proto = dash::core::make_strategy(keys[i]);
       dash::bench::SeriesPoint p;
       p.n = n;
       p.strategy = names[i];
       p.summary = dash::bench::run_cell(
-          fo, n, *proto, sched,
-          [](const ScheduleResult& r) {
+          fo, n, keys[i], run,
+          [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
           },
           &pool);
@@ -49,8 +48,8 @@ int main(int argc, char** argv) {
       e.n = n;
       e.strategy = names[i];
       e.summary = dash::bench::run_cell(
-          fo, n, *proto, sched,
-          [](const ScheduleResult& r) {
+          fo, n, keys[i], run,
+          [](const Metrics& r) {
             return static_cast<double>(r.edges_added);
           },
           &pool);

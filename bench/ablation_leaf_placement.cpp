@@ -11,7 +11,7 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
 
   dash::bench::FigureOptions fo;
   fo.instances = 8;
@@ -26,17 +26,16 @@ int main(int argc, char** argv) {
                                        "id-ordered(BinaryTreeHeal)"};
   const std::vector<std::string> keys{"dash", "binarytree"};
 
-  dash::analysis::ScheduleConfig sched;
+  const dash::api::RunOptions run;
   std::vector<dash::bench::SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      const auto proto = dash::core::make_strategy(keys[i]);
       dash::bench::SeriesPoint p;
       p.n = n;
       p.strategy = names[i];
       p.summary = dash::bench::run_cell(
-          fo, n, *proto, sched,
-          [](const ScheduleResult& r) {
+          fo, n, keys[i], run,
+          [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
           },
           &pool);

@@ -15,7 +15,7 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
 
   dash::bench::FigureOptions fo;
   fo.min_n = 32;
@@ -36,31 +36,34 @@ int main(int argc, char** argv) {
     names.push_back(dash::core::make_strategy(k)->name());
   }
 
+  // Stretch tracking is an observer now; each instance gets its own.
+  const auto track_stretch = [](dash::api::Network& net) {
+    net.add_observer(std::make_unique<dash::api::StretchObserver>(4));
+  };
+
   std::vector<dash::bench::SeriesPoint> stretch_points, delta_points;
   for (std::size_t n : fo.sizes()) {
-    dash::analysis::ScheduleConfig sched;
-    sched.track_stretch = true;
-    sched.stretch_sample_every = 4;
-    sched.max_deletions = n / 2;
+    dash::api::RunOptions run;
+    run.max_deletions = n / 2;
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      const auto proto = dash::core::make_strategy(keys[i]);
       dash::bench::SeriesPoint sp;
       sp.n = n;
       sp.strategy = names[i];
       sp.summary = dash::bench::run_cell(
-          fo, n, *proto, sched,
-          [](const ScheduleResult& r) { return r.max_stretch; }, &pool);
+          fo, n, keys[i], run,
+          [](const Metrics& r) { return r.max_stretch; }, &pool,
+          track_stretch);
       stretch_points.push_back(sp);
 
       dash::bench::SeriesPoint dp;
       dp.n = n;
       dp.strategy = names[i];
       dp.summary = dash::bench::run_cell(
-          fo, n, *proto, sched,
-          [](const ScheduleResult& r) {
+          fo, n, keys[i], run,
+          [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
           },
-          &pool);
+          &pool, track_stretch);
       delta_points.push_back(dp);
     }
     std::fprintf(stderr, "  done n=%zu\n", n);

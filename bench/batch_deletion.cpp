@@ -7,17 +7,14 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/batch.h"
+#include "api/api.h"
 #include "graph/generators.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace {
 
-using dash::core::HealingState;
 using dash::graph::Graph;
 using dash::graph::NodeId;
 
@@ -34,32 +31,36 @@ Outcome run(std::size_t n, std::size_t k, const std::string& mode,
             std::uint64_t seed) {
   dash::util::Rng rng(seed);
   Graph g = dash::graph::barabasi_albert(n, 2, rng);
-  HealingState st(g, rng);
+  dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
+                         rng);
   dash::util::Rng pick(seed * 31 + 1);
 
   Outcome out;
-  while (g.num_alive() > k) {
+  while (net.graph().num_alive() > k) {
     std::vector<NodeId> batch;
     if (mode == "hubs") {
-      auto alive = g.alive_nodes();
-      std::sort(alive.begin(), alive.end(), [&g](NodeId a, NodeId b) {
-        if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+      auto alive = net.graph().alive_nodes();
+      const auto& cur = net.graph();
+      std::sort(alive.begin(), alive.end(), [&cur](NodeId a, NodeId b) {
+        if (cur.degree(a) != cur.degree(b)) {
+          return cur.degree(a) > cur.degree(b);
+        }
         return a < b;
       });
       batch.assign(alive.begin(), alive.begin() + k);
     } else {
-      auto alive = g.alive_nodes();
+      auto alive = net.graph().alive_nodes();
       pick.shuffle(alive);
       batch.assign(alive.begin(), alive.begin() + k);
     }
-    dash::core::dash_delete_and_heal_batch(g, st, batch);
+    net.remove_batch(batch);
     ++out.rounds;
-    if (!dash::graph::is_connected(g)) {
+    if (!net.stayed_connected()) {
       out.connected = false;
       break;
     }
   }
-  out.max_delta = st.max_delta_ever();
+  out.max_delta = net.metrics().max_delta;
   return out;
 }
 

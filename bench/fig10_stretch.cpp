@@ -16,7 +16,7 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
 
   dash::bench::FigureOptions fo;
   fo.min_n = 32;
@@ -42,26 +42,33 @@ int main(int argc, char** argv) {
   }
 
   dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
-  const auto strategies = dash::core::paper_strategies();
+  const auto specs = dash::core::paper_strategy_specs();
   std::vector<std::string> names;
-  for (const auto& s : strategies) names.push_back(s->name());
+  for (const auto& spec : specs) {
+    names.push_back(dash::core::make_strategy(spec)->name());
+  }
+
+  // Per-instance stretch sampling via the observer pipeline.
+  const auto every = static_cast<std::size_t>(sample_every);
+  const auto track_stretch = [every](dash::api::Network& net) {
+    net.add_observer(std::make_unique<dash::api::StretchObserver>(every));
+  };
 
   std::vector<dash::bench::SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
-    dash::analysis::ScheduleConfig sched;
-    sched.track_stretch = true;
-    sched.stretch_sample_every = static_cast<std::size_t>(sample_every);
-    sched.max_deletions = n / 2;  // half the nodes, as degree stays sane
-    for (const auto& strat : strategies) {
+    dash::api::RunOptions run;
+    run.max_deletions = n / 2;  // half the nodes, as degree stays sane
+    for (std::size_t i = 0; i < specs.size(); ++i) {
       dash::bench::SeriesPoint p;
       p.n = n;
-      p.strategy = strat->name();
+      p.strategy = names[i];
       p.summary = dash::bench::run_cell(
-          fo, n, *strat, sched,
-          [](const ScheduleResult& r) { return r.max_stretch; }, &pool);
+          fo, n, specs[i], run,
+          [](const Metrics& r) { return r.max_stretch; }, &pool,
+          track_stretch);
       points.push_back(std::move(p));
       std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
-                   strat->name().c_str());
+                   names[i].c_str());
     }
   }
 

@@ -14,12 +14,12 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
   const int rc = dash::bench::run_strategy_sweep_figure(
       argc, argv,
       "Figure 8: maximum degree increase vs graph size",
       "max_degree_increase",
-      [](const ScheduleResult& r) {
+      [](const Metrics& r) {
         return static_cast<double>(r.max_delta);
       });
   if (rc == 0) {

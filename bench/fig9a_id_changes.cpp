@@ -10,12 +10,12 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
   const int rc = dash::bench::run_strategy_sweep_figure(
       argc, argv,
       "Figure 9(a): max ID changes per node vs graph size",
       "max_id_changes",
-      [](const ScheduleResult& r) {
+      [](const Metrics& r) {
         return static_cast<double>(r.max_id_changes);
       });
   if (rc == 0) {

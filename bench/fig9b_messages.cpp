@@ -14,12 +14,12 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
-  using dash::analysis::ScheduleResult;
+  using dash::api::Metrics;
   return dash::bench::run_strategy_sweep_figure(
       argc, argv,
       "Figure 9(b): max messages sent per node vs graph size",
       "max_messages_sent",
-      [](const ScheduleResult& r) {
+      [](const Metrics& r) {
         return static_cast<double>(r.max_messages_sent);
       });
 }

@@ -10,9 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/ascii_plot.h"
 #include "util/cli.h"
@@ -63,7 +61,7 @@ struct FigureOptions {
 };
 
 /// One figure data point: per-strategy summary of a metric at size n.
-using MetricFn = std::function<double(const analysis::ScheduleResult&)>;
+using MetricFn = std::function<double(const api::Metrics&)>;
 
 struct SeriesPoint {
   std::size_t n = 0;
@@ -71,27 +69,27 @@ struct SeriesPoint {
   dash::util::Summary summary;
 };
 
-/// Run the Sec. 4.1 methodology for one (n, strategy) cell.
-inline dash::util::Summary run_cell(const FigureOptions& fo, std::size_t n,
-                                    const core::HealingStrategy& proto,
-                                    const analysis::ScheduleConfig& sched,
-                                    const MetricFn& metric,
-                                    dash::util::ThreadPool* pool) {
-  analysis::InstanceConfig cfg;
+/// Run the Sec. 4.1 methodology for one (n, strategy) cell on the
+/// engine. `configure` registers per-instance observers (stretch
+/// tracking and the like); pass nullptr when none are needed.
+inline dash::util::Summary run_cell(
+    const FigureOptions& fo, std::size_t n, const std::string& healer_spec,
+    const api::RunOptions& run, const MetricFn& metric,
+    dash::util::ThreadPool* pool,
+    const std::function<void(api::Network&)>& configure = nullptr) {
+  api::SuiteConfig cfg;
   const std::size_t ba_m = static_cast<std::size_t>(fo.ba_edges);
   cfg.make_graph = [n, ba_m](dash::util::Rng& rng) {
     return graph::barabasi_albert(n, ba_m, rng);
   };
-  const std::string attack_name = fo.attack;
-  cfg.make_attack = [attack_name](std::uint64_t seed) {
-    return attack::make_attack(attack_name, seed);
-  };
-  cfg.healer = &proto;
+  cfg.make_attacker = api::attacker_factory(fo.attack);
+  cfg.make_healer = api::healer_factory(healer_spec);
+  cfg.configure = configure;
   cfg.instances = static_cast<std::size_t>(fo.instances);
   cfg.base_seed = fo.seed ^ (n * 0x9E3779B97F4A7C15ULL);
-  cfg.schedule = sched;
-  const auto results = analysis::run_instances(cfg, pool);
-  return analysis::summarize_metric(results, metric);
+  cfg.run = run;
+  const auto results = api::run_suite(cfg, pool);
+  return api::summarize_metric(results, metric);
 }
 
 /// Print one figure: rows = sizes, one column per strategy (mean of the
@@ -170,21 +168,23 @@ inline int run_strategy_sweep_figure(int argc, char** argv,
   if (!fo.parse(argc, argv, title)) return fo.help ? 0 : 2;
 
   dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
-  const auto strategies = core::paper_strategies();
+  const auto specs = core::paper_strategy_specs();
   std::vector<std::string> names;
-  for (const auto& s : strategies) names.push_back(s->name());
+  for (const auto& spec : specs) {
+    names.push_back(core::make_strategy(spec)->name());
+  }
 
-  analysis::ScheduleConfig sched;  // full deletion, no invariants
+  const api::RunOptions run;  // full deletion, no observers
   std::vector<SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
-    for (const auto& strat : strategies) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
       SeriesPoint p;
       p.n = n;
-      p.strategy = strat->name();
-      p.summary = run_cell(fo, n, *strat, sched, metric, &pool);
+      p.strategy = names[i];
+      p.summary = run_cell(fo, n, specs[i], run, metric, &pool);
       points.push_back(std::move(p));
       std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
-                   strat->name().c_str());
+                   names[i].c_str());
     }
   }
   print_figure(title, fo, names, points, metric_name);

@@ -3,9 +3,7 @@
 // generators, one DASH heal step, and full schedules per size.
 #include <benchmark/benchmark.h>
 
-#include "attack/factory.h"
-#include "core/factory.h"
-#include "core/healing_state.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "graph/union_find.h"
@@ -92,6 +90,8 @@ void BM_DashHealStep(benchmark::State& state) {
 BENCHMARK(BM_DashHealStep)->Arg(64)->Arg(512);
 
 void BM_FullSchedule(benchmark::State& state) {
+  // Full engine loop (api::Network::run): attack selection, heal, and
+  // the per-round connectivity accounting, with no observers attached.
   const auto n = static_cast<std::size_t>(state.range(0));
   const char* names[] = {"dash", "sdash", "graph"};
   const char* healer_name = names[state.range(1)];
@@ -99,17 +99,12 @@ void BM_FullSchedule(benchmark::State& state) {
     state.PauseTiming();
     Rng rng(6);
     Graph g = dash::graph::barabasi_albert(n, 2, rng);
-    HealingState st(g, rng);
+    dash::api::Network net(std::move(g),
+                           dash::core::make_strategy(healer_name), rng);
     auto attacker = dash::attack::make_attack("neighborofmax", 7);
-    auto healer = dash::core::make_strategy(healer_name);
     state.ResumeTiming();
-    while (g.num_alive() > 1) {
-      const NodeId v = attacker->select(g, st);
-      const DeletionContext ctx = st.begin_deletion(g, v);
-      g.delete_node(v);
-      healer->heal(g, st, ctx);
-    }
-    benchmark::DoNotOptimize(st.max_delta_ever());
+    const auto metrics = net.run(*attacker);
+    benchmark::DoNotOptimize(metrics.max_delta);
   }
   state.SetItemsProcessed(state.iterations() * n);
   state.SetLabel(healer_name);
@@ -119,6 +114,29 @@ BENCHMARK(BM_FullSchedule)
     ->Args({256, 1})
     ->Args({256, 2})
     ->Args({1024, 0});
+
+void BM_ObserverPipelineOverhead(benchmark::State& state) {
+  // Same schedule with the recorder observer attached: what a pipeline
+  // stage costs per deletion (dominated by the largest-component scan).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(6);
+    Graph g = dash::graph::barabasi_albert(n, 2, rng);
+    dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
+                           rng);
+    dash::analysis::Recorder rec;
+    net.add_observer(
+        std::make_unique<dash::api::RecorderObserver>(rec));
+    auto attacker = dash::attack::make_attack("neighborofmax", 7);
+    state.ResumeTiming();
+    const auto metrics = net.run(*attacker);
+    benchmark::DoNotOptimize(metrics.deletions);
+    benchmark::DoNotOptimize(rec.rows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ObserverPipelineOverhead)->Arg(256);
 
 void BM_MinIdPropagation(benchmark::State& state) {
   // Propagation cost over a long healing chain.

@@ -15,7 +15,6 @@
 
 namespace {
 
-using dash::analysis::ScheduleResult;
 using dash::graph::Graph;
 using dash::graph::NodeId;
 
@@ -63,13 +62,12 @@ int main(int argc, char** argv) {
       Graph g = dash::graph::barabasi_albert(
           n, static_cast<std::size_t>(fo.ba_edges), rng);
       const Graph original = g;
-      dash::core::HealingState st(g, rng);
+      dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
+                             rng);
       auto attacker =
           dash::attack::make_attack(fo.attack, rng.next_u64());
-      auto healer = dash::core::make_strategy("dash");
-      dash::analysis::ScheduleConfig sched;
-      const auto r =
-          dash::analysis::run_schedule(g, st, *attacker, *healer, sched);
+      const auto r = net.run(*attacker);
+      const auto& st = net.state();
 
       const double log2n = std::log2(static_cast<double>(n));
       const double lnn = std::log(static_cast<double>(n));

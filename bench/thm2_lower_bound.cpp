@@ -10,20 +10,15 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "attack/level_attack.h"
-#include "core/dash.h"
-#include "core/degree_capped.h"
-#include "core/healing_state.h"
 #include "graph/generators.h"
-#include "graph/traversal.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
-using dash::core::DeletionContext;
-using dash::core::HealingState;
 using dash::graph::Graph;
 using dash::graph::NodeId;
 
@@ -34,26 +29,21 @@ struct Outcome {
   std::size_t prunes = 0;
 };
 
-Outcome run(std::size_t m, std::size_t depth,
-            dash::core::HealingStrategy& healer, std::uint64_t seed) {
+Outcome run(std::size_t m, std::size_t depth, const std::string& healer,
+            std::uint64_t seed) {
   const auto tree = dash::graph::complete_kary_tree(m + 2, depth);
   Graph g = tree.g;
   dash::util::Rng rng(seed);
-  HealingState st(g, rng);
+  dash::api::Network net(std::move(g), dash::core::make_strategy(healer),
+                         rng);
   dash::attack::LevelAttack atk(tree, static_cast<std::uint32_t>(m));
 
   Outcome out;
-  out.n = g.num_nodes();
-  while (g.num_alive() > 1) {
-    const NodeId v = atk.select(g, st);
-    if (v == dash::graph::kInvalidNode) break;
-    const DeletionContext ctx = st.begin_deletion(g, v);
-    g.delete_node(v);
-    healer.heal(g, st, ctx);
-    ++out.deletions;
-    DASH_CHECK(dash::graph::is_connected(g));
-  }
-  out.max_delta = st.max_delta_ever();
+  out.n = net.graph().num_nodes();
+  const auto metrics = net.run(atk);
+  DASH_CHECK(metrics.stayed_connected);
+  out.deletions = metrics.deletions;
+  out.max_delta = metrics.max_delta;
   out.prunes = atk.prune_deletions();
   return out;
 }
@@ -78,10 +68,10 @@ int main(int argc, char** argv) {
     for (std::size_t depth = 2; depth <= max_depth; ++depth) {
       // Tree size grows as (m+2)^depth; keep runs tractable.
       if (m == 3 && depth > 5) continue;
-      dash::core::DegreeCappedStrategy capped(m);
-      const Outcome o = run(m, depth, capped, seed);
+      const std::string spec = "capped:" + std::to_string(m);
+      const Outcome o = run(m, depth, spec, seed);
       table.begin_row()
-          .cell(capped.name())
+          .cell(dash::core::make_strategy(spec)->name())
           .cell(std::to_string(m))
           .cell(std::to_string(depth))
           .cell(std::to_string(o.n))
@@ -95,8 +85,7 @@ int main(int argc, char** argv) {
   // DASH as a reference subject: the attack still lands Theta(log n)
   // but can never exceed DASH's upper bound.
   for (std::size_t depth = 2; depth <= max_depth; ++depth) {
-    dash::core::DashStrategy dashheal;
-    const Outcome o = run(2, depth, dashheal, seed);
+    const Outcome o = run(2, depth, "dash", seed);
     table.begin_row()
         .cell("DASH")
         .cell("-")

@@ -5,12 +5,9 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "attack/level_attack.h"
-#include "core/degree_capped.h"
-#include "core/healing_state.h"
 #include "graph/generators.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -34,8 +31,9 @@ int main(int argc, char** argv) {
             << "..0 bottom-up, pruning excess children first\n\n";
 
   dash::util::Rng rng(seed);
-  dash::core::HealingState st(g, rng);
-  dash::core::DegreeCappedStrategy healer(static_cast<std::uint32_t>(m));
+  dash::api::Network net(
+      std::move(g),
+      dash::core::make_strategy("capped:" + std::to_string(m)), rng);
   dash::attack::LevelAttack atk(tree, static_cast<std::uint32_t>(m));
 
   dash::util::Table table({"after_level", "deletions_so_far",
@@ -43,21 +41,17 @@ int main(int argc, char** argv) {
   std::uint32_t current_level = tree.level.empty()
                                     ? 0
                                     : static_cast<std::uint32_t>(depth) - 1;
-  std::size_t deletions = 0;
-  while (g.num_alive() > 1) {
-    const auto v = atk.select(g, st);
+  while (net.graph().num_alive() > 1) {
+    const auto v = atk.select(net.graph(), net.state());
     if (v == dash::graph::kInvalidNode) break;
     const bool planned_level_node = tree.level[v] <= current_level &&
                                     tree.children[v].size() > 0;
-    const auto ctx = st.begin_deletion(g, v);
-    g.delete_node(v);
-    healer.heal(g, st, ctx);
-    ++deletions;
+    net.remove(v);
     // Report when the last node of a level falls.
     if (planned_level_node && tree.level[v] == current_level) {
       bool level_done = true;
       for (dash::graph::NodeId u = 0; u < n; ++u) {
-        if (tree.level[u] == current_level && g.alive(u) &&
+        if (tree.level[u] == current_level && net.graph().alive(u) &&
             !tree.children[u].empty()) {
           level_done = false;
           break;
@@ -66,9 +60,9 @@ int main(int argc, char** argv) {
       if (level_done) {
         table.begin_row()
             .cell(std::to_string(current_level))
-            .cell(std::to_string(deletions))
-            .cell(std::to_string(g.num_alive()))
-            .cell(std::to_string(st.max_delta_ever()))
+            .cell(std::to_string(net.rounds()))
+            .cell(std::to_string(net.graph().num_alive()))
+            .cell(std::to_string(net.state().max_delta_ever()))
             .cell(std::to_string(depth - current_level));
         if (current_level == 0) break;
         --current_level;
@@ -82,6 +76,7 @@ int main(int argc, char** argv) {
             << depth << " ~ log_{" << m + 2 << "}(n) = "
             << std::log(static_cast<double>(n)) /
                    std::log(static_cast<double>(m + 2))
-            << ".\nmeasured forced delta: " << st.max_delta_ever() << "\n";
-  return st.max_delta_ever() >= depth ? 0 : 1;
+            << ".\nmeasured forced delta: "
+            << net.state().max_delta_ever() << "\n";
+  return net.state().max_delta_ever() >= depth ? 0 : 1;
 }

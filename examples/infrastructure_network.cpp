@@ -8,21 +8,15 @@
 // many extra hops a passenger flies after re-routing".
 #include <iostream>
 
-#include "analysis/stretch.h"
+#include "api/api.h"
 #include "attack/basic.h"
-#include "core/factory.h"
-#include "core/healing_state.h"
 #include "graph/generators.h"
-#include "graph/metrics.h"
-#include "graph/traversal.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace {
 
-using dash::core::DeletionContext;
-using dash::core::HealingState;
 using dash::graph::Graph;
 using dash::graph::NodeId;
 
@@ -49,25 +43,22 @@ struct Outcome {
 Outcome run(const std::string& healer_name, std::size_t hubs,
             std::size_t spokes, std::size_t closures,
             std::uint64_t seed) {
-  Graph g = make_route_map(hubs, spokes);
-  const dash::analysis::StretchTracker stretch(g);
-  dash::util::Rng rng(seed);
-  HealingState st(g, rng);
-  auto healer = dash::core::make_strategy(healer_name);
+  dash::api::Network net(make_route_map(hubs, spokes), healer_name, seed);
+  auto& stretch = static_cast<dash::api::StretchObserver&>(
+      net.add_observer(std::make_unique<dash::api::StretchObserver>()));
   dash::attack::MaxNodeAttack atk;  // close the busiest airport first
 
+  dash::api::RunOptions opts;
+  opts.max_deletions = closures;
+  opts.stop_condition = [](const dash::api::Network& engine) {
+    return engine.graph().num_alive() <= 2;
+  };
+  const dash::api::Metrics m = net.run(atk, opts);
+
   Outcome out;
-  for (std::size_t k = 0; k < closures && g.num_alive() > 2; ++k) {
-    const NodeId victim = atk.select(g, st);
-    const DeletionContext ctx = st.begin_deletion(g, victim);
-    g.delete_node(victim);
-    healer->heal(g, st, ctx);
-    out.connected = out.connected && dash::graph::is_connected(g);
-    if (out.connected) {
-      out.max_stretch = std::max(out.max_stretch, stretch.max_stretch(g));
-    }
-  }
-  out.max_delta = st.max_delta_ever();
+  out.connected = m.stayed_connected;
+  out.max_stretch = std::max(1.0, stretch.max_stretch());
+  out.max_delta = m.max_delta;
   return out;
 }
 

@@ -9,13 +9,9 @@
 #include <algorithm>
 #include <iostream>
 
-#include "analysis/experiment.h"
-#include "analysis/recorder.h"
+#include "api/api.h"
 #include "attack/basic.h"
-#include "core/dash.h"
-#include "core/no_heal.h"
 #include "graph/generators.h"
-#include "graph/metrics.h"
 #include "graph/traversal.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -23,8 +19,6 @@
 
 namespace {
 
-using dash::core::DeletionContext;
-using dash::core::HealingState;
 using dash::graph::Graph;
 using dash::graph::NodeId;
 
@@ -37,35 +31,52 @@ struct ChurnOutcome {
   std::uint32_t max_delta = 0;
 };
 
+/// Custom pipeline stage: remember the first round the overlay
+/// disconnected (0 = never). Shows how scenario-specific measurement
+/// plugs into the engine instead of being wired into the event loop.
+class DisconnectWatch final : public dash::api::Observer {
+ public:
+  std::string name() const override { return "disconnect-watch"; }
+  void on_round_end(const dash::api::Network&,
+                    const dash::api::RoundEvent& ev) override {
+    if (first_disconnect_ == 0 && !ev.connected) {
+      first_disconnect_ = ev.round;
+    }
+  }
+  std::size_t first_disconnect() const { return first_disconnect_; }
+
+ private:
+  std::size_t first_disconnect_ = 0;
+};
+
 /// Realistic overlay churn: targeted deletions of supernode neighbors,
 /// organic random departures, and new peers joining (attaching to two
-/// random live peers), for `rounds` events total.
+/// random live peers), for `rounds` events total. Deletions and joins
+/// are interleaved through the engine's event API.
 ChurnOutcome run_overlay(std::size_t n, bool heal, std::size_t rounds,
                          std::uint64_t seed) {
   dash::util::Rng rng(seed);
   Graph g = dash::graph::barabasi_albert(n, 3, rng);
-  HealingState st(g, rng);
+  dash::api::Network net(std::move(g),
+                         dash::core::make_strategy(heal ? "dash" : "none"),
+                         rng);
+  DisconnectWatch watch;
+  net.add_observer(&watch);
+
   dash::attack::NeighborOfMaxAttack targeted(seed);
   dash::attack::RandomAttack departures(seed + 1);
   dash::util::Rng join_rng(seed + 2);
-  dash::core::DashStrategy dash_heal;
-  dash::core::NoHealStrategy no_heal;
-  dash::core::HealingStrategy& healer =
-      heal ? static_cast<dash::core::HealingStrategy&>(dash_heal)
-           : static_cast<dash::core::HealingStrategy&>(no_heal);
 
-  ChurnOutcome out;
-  for (std::size_t round = 0; round < rounds && g.num_alive() > 1;
-       ++round) {
+  for (std::size_t round = 0;
+       round < rounds && net.graph().num_alive() > 1; ++round) {
     if (round % 5 == 4) {
       // A new peer joins, bootstrapping off two random live peers.
-      auto alive = g.alive_nodes();
+      auto alive = net.graph().alive_nodes();
       join_rng.shuffle(alive);
       std::vector<NodeId> targets(
           alive.begin(),
           alive.begin() + std::min<std::size_t>(2, alive.size()));
-      st.join_node(g, targets);
-      ++out.joins;
+      net.join(targets);
       continue;
     }
     // Otherwise a peer disappears: 2/3 targeted sabotage, 1/3 organic.
@@ -73,21 +84,20 @@ ChurnOutcome run_overlay(std::size_t n, bool heal, std::size_t rounds,
         (round % 3 == 2)
             ? static_cast<dash::attack::AttackStrategy&>(departures)
             : static_cast<dash::attack::AttackStrategy&>(targeted);
-    const NodeId victim = atk.select(g, st);
+    const NodeId victim = atk.select(net.graph(), net.state());
     if (victim == dash::graph::kInvalidNode) break;
-    const DeletionContext ctx = st.begin_deletion(g, victim);
-    g.delete_node(victim);
-    healer.heal(g, st, ctx);
-    ++out.rounds;
-    if (out.first_disconnect_round == 0 &&
-        !dash::graph::is_connected(g)) {
-      out.first_disconnect_round = out.rounds;
-    }
+    net.remove(victim);
   }
-  out.final_alive = g.num_alive();
+
+  const dash::api::Metrics m = net.finish();
+  ChurnOutcome out;
+  out.rounds = m.deletions;
+  out.joins = m.joins;
+  out.first_disconnect_round = watch.first_disconnect();
+  out.final_alive = net.graph().num_alive();
   out.final_largest_component =
-      dash::graph::connected_components(g).largest();
-  out.max_delta = st.max_delta_ever();
+      dash::graph::connected_components(net.graph()).largest();
+  out.max_delta = m.max_delta;
   return out;
 }
 

@@ -1,13 +1,12 @@
 // quickstart.cpp -- the smallest complete use of the library:
-// build a network, attack it, heal it with DASH, inspect guarantees.
+// build a network, hand it to the api::Network engine, attack it, heal
+// it with DASH, and inspect the guarantees via observers.
 //
 //   $ ./quickstart [--n 256] [--healer dash] [--attack neighborofmax]
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiment.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -24,29 +23,28 @@ int main(int argc, char** argv) {
                  "attack strategy (maxnode/neighborofmax/random/...)");
   if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
 
-  // 1. Build a power-law network (the paper's experimental substrate).
+  // 1. Build a power-law network (the paper's experimental substrate)
+  //    and hand it to the engine together with a healer from the
+  //    registry. The engine owns graph + healing state + strategy.
   dash::util::Rng rng(seed);
   auto g = dash::graph::barabasi_albert(static_cast<std::size_t>(n), 2, rng);
   std::cout << "network: " << g.num_alive() << " nodes, " << g.num_edges()
             << " edges\n";
+  dash::api::Network net(std::move(g), dash::core::make_strategy(healer_name),
+                         rng);
 
-  // 2. Attach healing state (ids, deltas, weights, the healing forest).
-  dash::core::HealingState state(g, rng);
+  // 2. Plug in measurement: the full invariant battery after each round.
+  dash::api::InvariantObserver invariants;
+  net.add_observer(&invariants);
 
-  // 3. Pick an adversary and a healer.
+  // 3. Pick an adversary from the registry and let it delete every
+  //    node; the engine heals after each deletion.
   auto attacker = dash::attack::make_attack(attack_name, seed);
-  auto healer = dash::core::make_strategy(healer_name);
   std::cout << "attack: " << attacker->name()
-            << ", healer: " << healer->name() << "\n";
+            << ", healer: " << net.healer().name() << "\n";
+  const dash::api::Metrics result = net.run(*attacker);
 
-  // 4. Let the adversary delete every node; heal after each deletion;
-  //    verify invariants as we go.
-  dash::analysis::ScheduleConfig cfg;
-  cfg.check_invariants = true;
-  const auto result =
-      dash::analysis::run_schedule(g, state, *attacker, *healer, cfg);
-
-  // 5. Report.
+  // 4. Report.
   std::cout << "\nafter " << result.deletions << " deletions:\n"
             << "  stayed connected:    "
             << (result.stayed_connected ? "yes" : "NO") << "\n"

@@ -3,15 +3,18 @@
 // and emit the series as a table and optional CSV. This is the
 // "run your own figure" entry point for downstream users.
 //
+// Healers and attacks are resolved through the strategy registries, so
+// anything registered on core::healer_registry() / attack_registry()
+// (including parameterized specs like "capped:2" or "sdash:4") works
+// here; --help lists the registered spellings.
+//
 //   $ ./sweep_cli --family ba --attack maxnode --metric stretch
 //       --healers dash,sdash,graph --max-n 128
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "analysis/experiment.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -20,7 +23,7 @@
 
 namespace {
 
-using dash::analysis::ScheduleResult;
+using dash::api::Metrics;
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -32,8 +35,8 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-dash::analysis::GraphFactory make_family(const std::string& family,
-                                         std::size_t n, std::size_t ba_m) {
+std::function<dash::graph::Graph(dash::util::Rng&)> make_family(
+    const std::string& family, std::size_t n, std::size_t ba_m) {
   using dash::graph::Graph;
   if (family == "ba") {
     return [n, ba_m](dash::util::Rng& rng) {
@@ -63,7 +66,7 @@ dash::analysis::GraphFactory make_family(const std::string& family,
                               " (ba/tree/gnp/ws/cycle)");
 }
 
-double extract(const ScheduleResult& r, const std::string& metric) {
+double extract(const Metrics& r, const std::string& metric) {
   if (metric == "max_delta") return static_cast<double>(r.max_delta);
   if (metric == "id_changes") return static_cast<double>(r.max_id_changes);
   if (metric == "messages") return static_cast<double>(r.max_messages);
@@ -79,6 +82,15 @@ double extract(const ScheduleResult& r, const std::string& metric) {
       "stretch/surrogates)");
 }
 
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += "/";
+    out += n;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,8 +103,10 @@ int main(int argc, char** argv) {
   dash::util::Options opt("dashheal sweep driver");
   opt.add_string("family", &family, "graph family (ba/tree/gnp/ws/cycle)");
   opt.add_string("attack", &attack,
-                 "attack (maxnode/neighborofmax/random/minnode/maxdelta)");
-  opt.add_string("healers", &healers, "comma-separated healing strategies");
+                 "attack (" + joined(dash::attack::attack_names()) + ")");
+  opt.add_string("healers", &healers,
+                 "comma-separated healing strategies (" +
+                     joined(dash::core::strategy_names()) + ")");
   opt.add_string("metric", &metric,
                  "metric (max_delta/id_changes/messages/messages_sent/"
                  "edges_added/stretch/surrogates)");
@@ -122,34 +136,30 @@ int main(int argc, char** argv) {
     for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
       table.begin_row().cell(std::to_string(n));
       for (const auto& healer_name : healer_names) {
-        const auto proto = dash::core::make_strategy(healer_name);
-        dash::analysis::InstanceConfig cfg;
+        dash::api::SuiteConfig cfg;
         cfg.make_graph = make_family(
             family, static_cast<std::size_t>(n),
             static_cast<std::size_t>(ba_edges));
-        cfg.make_attack = [&attack](std::uint64_t s) {
-          return dash::attack::make_attack(attack, s);
-        };
-        cfg.healer = proto.get();
+        cfg.make_attacker = dash::api::attacker_factory(attack);
+        cfg.make_healer = dash::api::healer_factory(healer_name);
         cfg.instances = static_cast<std::size_t>(instances);
         cfg.base_seed = seed ^ (n * 0x9E3779B97F4A7C15ULL);
         if (deletions > 0) {
-          cfg.schedule.max_deletions =
-              static_cast<std::size_t>(deletions);
+          cfg.run.max_deletions = static_cast<std::size_t>(deletions);
         }
         if (metric == "stretch") {
-          cfg.schedule.track_stretch = true;
-          cfg.schedule.stretch_sample_every = 4;
+          cfg.configure = [](dash::api::Network& net) {
+            net.add_observer(
+                std::make_unique<dash::api::StretchObserver>(4));
+          };
           if (deletions == 0) {
-            cfg.schedule.max_deletions = static_cast<std::size_t>(n) / 2;
+            cfg.run.max_deletions = static_cast<std::size_t>(n) / 2;
           }
         }
-        const auto results = dash::analysis::run_instances(cfg, &pool);
-        const auto summary = dash::analysis::summarize_metric(
+        const auto results = dash::api::run_suite(cfg, &pool);
+        const auto summary = dash::api::summarize_metric(
             results,
-            [&metric](const ScheduleResult& r) {
-              return extract(r, metric);
-            });
+            [&metric](const Metrics& r) { return extract(r, metric); });
         table.cell(summary.mean, 2);
         csv.write(n, healer_name, metric, summary.mean, summary.stddev,
                   summary.min, summary.max);

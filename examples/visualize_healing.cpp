@@ -1,6 +1,8 @@
 // visualize_healing.cpp -- writes GraphViz DOT frames of a small
 // network as the adversary chews through it and DASH heals, with
-// healing edges highlighted in red and per-node delta labels.
+// healing edges highlighted in red and per-node delta labels. Frame
+// dumping is an Observer: it sees every round without touching the
+// engine loop.
 //
 //   $ ./visualize_healing --out-dir /tmp/frames --n 24 --deletions 6
 //   $ dot -Tsvg /tmp/frames/step_03.dot -o step3.svg
@@ -9,13 +11,55 @@
 #include <iostream>
 
 #include "analysis/dot.h"
+#include "api/api.h"
 #include "attack/basic.h"
-#include "core/dash.h"
-#include "core/healing_state.h"
 #include "graph/generators.h"
-#include "graph/traversal.h"
 #include "util/cli.h"
 #include "util/rng.h"
+
+namespace {
+
+/// Dumps one DOT frame per engine round (plus frame 0 on attach).
+class DotFrameObserver final : public dash::api::Observer {
+ public:
+  explicit DotFrameObserver(std::filesystem::path out_dir)
+      : out_dir_(std::move(out_dir)) {}
+
+  std::string name() const override { return "dot-frames"; }
+
+  void on_attach(const dash::api::Network& net) override { dump(net, 0); }
+
+  void on_round_begin(const dash::api::Network&,
+                      std::size_t round) override {
+    std::cout << "frame " << round << ": deleting next victim\n";
+  }
+
+  void on_round_end(const dash::api::Network& net,
+                    const dash::api::RoundEvent& ev) override {
+    if (!ev.connected) {
+      std::cerr << "FATAL: disconnected at round " << ev.round << "\n";
+      std::exit(1);
+    }
+    dump(net, ev.round);
+  }
+
+ private:
+  void dump(const dash::api::Network& net, std::size_t step) {
+    const auto path = out_dir_ / ("step_" +
+                                  std::string(step < 10 ? "0" : "") +
+                                  std::to_string(step) + ".dot");
+    std::ofstream out(path);
+    dash::analysis::DotOptions dopt;
+    dopt.graph_name = "step" + std::to_string(step);
+    dash::analysis::write_dot_with_healing(out, net.graph(), net.state(),
+                                           dopt);
+    std::cout << "wrote " << path.string() << "\n";
+  }
+
+  std::filesystem::path out_dir_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t n = 24, deletions = 6, seed = 4;
@@ -32,36 +76,19 @@ int main(int argc, char** argv) {
   dash::util::Rng rng(seed);
   auto g = dash::graph::barabasi_albert(static_cast<std::size_t>(n), 2,
                                         rng);
-  dash::core::HealingState st(g, rng);
-  dash::core::DashStrategy healer;
+  dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
+                         rng);
+  DotFrameObserver frames{std::filesystem::path(out_dir)};
+  net.add_observer(&frames);
+
   dash::attack::MaxNodeAttack atk;
-
-  auto dump = [&](std::size_t step) {
-    const auto path = std::filesystem::path(out_dir) /
-                      ("step_" + std::string(step < 10 ? "0" : "") +
-                       std::to_string(step) + ".dot");
-    std::ofstream out(path);
-    dash::analysis::DotOptions dopt;
-    dopt.graph_name = "step" + std::to_string(step);
-    dash::analysis::write_dot_with_healing(out, g, st, dopt);
-    std::cout << "wrote " << path.string() << "\n";
+  dash::api::RunOptions opts;
+  opts.max_deletions = static_cast<std::size_t>(deletions);
+  opts.stop_condition = [](const dash::api::Network& engine) {
+    return engine.graph().num_alive() <= 2;
   };
+  net.run(atk, opts);
 
-  dump(0);
-  for (std::size_t step = 1; step <= deletions && g.num_alive() > 2;
-       ++step) {
-    const auto victim = atk.select(g, st);
-    std::cout << "deleting node " << victim << " (degree "
-              << g.degree(victim) << ")\n";
-    const auto ctx = st.begin_deletion(g, victim);
-    g.delete_node(victim);
-    healer.heal(g, st, ctx);
-    if (!dash::graph::is_connected(g)) {
-      std::cerr << "FATAL: disconnected\n";
-      return 1;
-    }
-    dump(step);
-  }
   std::cout << "\nrender with: dot -Tsvg " << out_dir
             << "/step_00.dot -o step0.svg\n";
   return 0;

@@ -1,127 +1,49 @@
 #include "analysis/experiment.h"
 
-#include <memory>
-
-#include "graph/traversal.h"
+#include "api/network.h"
 #include "util/check.h"
-#include "util/timer.h"
 
 namespace dash::analysis {
 
-using core::HealingState;
-using graph::Graph;
-using graph::NodeId;
+namespace {
 
-ScheduleResult run_schedule(Graph& g, HealingState& state,
+dash::api::RunOptions to_run_options(const ScheduleConfig& cfg) {
+  dash::api::RunOptions opts;
+  opts.max_deletions = cfg.max_deletions;
+  opts.stop_when_disconnected = cfg.stop_when_disconnected;
+  return opts;
+}
+
+}  // namespace
+
+ScheduleResult run_schedule(graph::Graph& g, core::HealingState& state,
                             attack::AttackStrategy& attacker,
                             core::HealingStrategy& healer,
                             const ScheduleConfig& cfg) {
-  ScheduleResult result;
-  const std::size_t n0 = g.num_alive();
-
-  std::optional<StretchTracker> stretch;
-  if (cfg.track_stretch) stretch.emplace(g);
-
-  dash::util::Timer heal_timer;
-  double heal_seconds = 0.0;
-
-  while (g.num_alive() > 1 && result.deletions < cfg.max_deletions) {
-    const NodeId victim = attacker.select(g, state);
-    if (victim == graph::kInvalidNode) break;  // attack finished early
-    DASH_CHECK_MSG(g.alive(victim), "attacker chose a dead node");
-
-    const core::DeletionContext ctx = state.begin_deletion(g, victim);
-    const auto removed_neighbors = g.delete_node(victim);
-    DASH_CHECK(removed_neighbors == ctx.neighbors_g);
-
-    heal_timer.reset();
-    const core::HealAction action = healer.heal(g, state, ctx);
-    heal_seconds += heal_timer.seconds();
-
-    ++result.deletions;
-    result.edges_added += action.new_graph_edges.size();
-    if (action.used_surrogate) ++result.surrogate_heals;
-
-    const bool connected_now = graph::is_connected(g);
-    if (!connected_now) result.stayed_connected = false;
-
-    if (cfg.check_invariants && result.violation.empty()) {
-      Check c = check_locality(action, ctx);
-      if (c.ok && healer.maintains_forest()) c = check_forest(g, state);
-      if (c.ok) c = check_component_ids(g, state);
-      if (c.ok) c = check_healing_subgraph(g, state);
-      if (c.ok) c = check_delta_consistency(g, state);
-      if (c.ok && cfg.check_rem_bound) c = check_rem_bound(g, state);
-      if (c.ok && cfg.check_delta_bound) c = check_delta_bound(state, n0);
-      if (!c.ok) result.violation = c.violation;
-    }
-
-    const bool sample_stretch =
-        stretch && (result.deletions % cfg.stretch_sample_every == 0 ||
-                    g.num_alive() <= 2);
-    double stretch_now = 0.0;
-    if (sample_stretch && connected_now) {
-      stretch_now = stretch->max_stretch(g);
-      result.max_stretch = std::max(result.max_stretch, stretch_now);
-    }
-
-    if (cfg.recorder != nullptr) {
-      DeletionRecord rec;
-      rec.round = result.deletions;
-      rec.deleted_node = victim;
-      rec.alive = g.num_alive();
-      rec.edges = g.num_edges();
-      rec.edges_added = action.new_graph_edges.size();
-      rec.max_delta = state.max_delta_ever();
-      rec.largest_component = graph::connected_components(g).largest();
-      rec.stretch = stretch_now;
-      rec.stretch_sampled = sample_stretch && connected_now;
-      cfg.recorder->add(rec);
-    }
-
-    if (!connected_now && cfg.stop_when_disconnected) break;
-  }
-
-  result.max_delta = state.max_delta_ever();
-  result.max_id_changes = state.max_id_changes();
-  result.max_messages = state.max_messages();
-  result.max_messages_sent = state.max_messages_sent();
-  result.heal_seconds = heal_seconds;
-  return result;
+  // Borrowed-mode engine: the caller keeps ownership (and can inspect
+  // the mutated graph/state afterwards, as legacy drivers do).
+  dash::api::Network net(g, state, healer);
+  return net.run(attacker, to_run_options(cfg));
 }
 
 std::vector<ScheduleResult> run_instances(const InstanceConfig& cfg,
                                           dash::util::ThreadPool* pool) {
   DASH_CHECK(cfg.make_graph && cfg.make_attack && cfg.healer != nullptr);
-  std::vector<ScheduleResult> results(cfg.instances);
-
-  auto run_one = [&cfg, &results](std::size_t i) {
-    // Each instance owns an independent deterministic stream derived
-    // from (base_seed, i): results do not depend on thread scheduling.
-    dash::util::Rng seeder(cfg.base_seed);
-    dash::util::Rng rng = seeder.fork(i + 1);
-    Graph g = cfg.make_graph(rng);
-    HealingState state(g, rng);
-    auto attacker = cfg.make_attack(rng.next_u64());
-    auto healer = cfg.healer->clone();
-    results[i] = run_schedule(g, state, *attacker, *healer, cfg.schedule);
-  };
-
-  if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(cfg.instances, run_one);
-  } else {
-    for (std::size_t i = 0; i < cfg.instances; ++i) run_one(i);
-  }
-  return results;
+  dash::api::SuiteConfig suite;
+  suite.make_graph = cfg.make_graph;
+  suite.make_attacker = cfg.make_attack;
+  const core::HealingStrategy* proto = cfg.healer;
+  suite.make_healer = [proto] { return proto->clone(); };
+  suite.instances = cfg.instances;
+  suite.base_seed = cfg.base_seed;
+  suite.run = to_run_options(cfg.schedule);
+  return dash::api::run_suite(suite, pool);
 }
 
 dash::util::Summary summarize_metric(
     const std::vector<ScheduleResult>& results,
     const std::function<double(const ScheduleResult&)>& metric) {
-  std::vector<double> xs;
-  xs.reserve(results.size());
-  for (const auto& r : results) xs.push_back(metric(r));
-  return dash::util::summarize(xs);
+  return dash::api::summarize_metric(results, metric);
 }
 
 }  // namespace dash::analysis

@@ -1,16 +1,29 @@
-// experiment.h -- the deletion/heal driver and the multi-instance sweep
-// machinery behind every figure reproduction (Sec. 4.1 methodology:
-// delete -> heal -> measure, repeated until the graph is gone, averaged
-// over 30 random graph instances).
+// experiment.h -- DEPRECATED compatibility shims over the api::Network
+// engine.
+//
+// The deletion/heal driver and the multi-instance sweep machinery that
+// used to live here are now the engine layer: api::Network owns the
+// delete -> heal -> propagate loop and feeds pluggable observers
+// (api/observers.h replaces the old check_invariants / track_stretch /
+// recorder configuration fields), and api::run_suite runs the Sec. 4.1
+// multi-instance methodology.
+//
+// Migration:
+//   run_schedule(g, st, atk, healer, cfg)  ->  Network::run()
+//   cfg.check_invariants / *_bound         ->  InvariantObserver
+//   cfg.track_stretch / stretch_sample_every -> StretchObserver
+//   cfg.recorder                           ->  RecorderObserver
+//   run_instances(InstanceConfig, pool)    ->  api::run_suite()
+//
+// These shims forward to the engine and will be removed next PR.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
-#include <optional>
 
-#include "analysis/invariants.h"
-#include "analysis/recorder.h"
-#include "analysis/stretch.h"
+#include "api/metrics.h"
+#include "api/suite.h"
 #include "attack/strategy.h"
 #include "core/strategy.h"
 #include "util/rng.h"
@@ -19,47 +32,24 @@
 
 namespace dash::analysis {
 
+/// DEPRECATED: use api::RunOptions (and observers for measurement).
 struct ScheduleConfig {
   /// Maximum deletions; by default run until <= 1 alive node or the
   /// attack stops on its own.
-  std::size_t max_deletions = static_cast<std::size_t>(-1);
-  /// Evaluate the full invariant battery after every round (slow;
-  /// integration tests switch it on).
-  bool check_invariants = false;
-  /// Lemma-4 rem bound is DASH-specific; only checked when this is set
-  /// in addition to check_invariants.
-  bool check_rem_bound = false;
-  /// Theorem-1 delta <= 2 log2 n bound; proven for DASH only, so it is
-  /// opt-in like the rem bound.
-  bool check_delta_bound = false;
-  /// Track the Fig. 10 stretch metric (needs O(n^2) baseline memory).
-  bool track_stretch = false;
-  /// Sample stretch every k-th deletion (it costs O(n*m)).
-  std::size_t stretch_sample_every = 1;
+  std::size_t max_deletions = std::numeric_limits<std::size_t>::max();
   /// Stop healing-relevant accounting once the graph disconnects
   /// (meaningful for NoHeal only; healers never disconnect).
   bool stop_when_disconnected = false;
-  /// Optional per-round time series sink.
-  Recorder* recorder = nullptr;
 };
 
-struct ScheduleResult {
-  std::size_t deletions = 0;
-  /// Paper's headline metric: max over nodes and over time of delta(v).
-  std::uint32_t max_delta = 0;
-  std::uint32_t max_id_changes = 0;
-  std::uint64_t max_messages = 0;       ///< sent + received (Lemma 8)
-  std::uint64_t max_messages_sent = 0;  ///< sent only (Fig. 9(b)'s metric)
-  std::size_t edges_added = 0;
-  std::size_t surrogate_heals = 0;
-  double max_stretch = 0.0;  ///< max over sampled rounds
-  bool stayed_connected = true;
-  /// First invariant violation encountered (empty if none / unchecked).
-  std::string violation;
-  double heal_seconds = 0.0;  ///< time spent inside heal() calls
-};
+/// The schedule-level result is the engine's metric snapshot.
+using ScheduleResult = dash::api::Metrics;
 
-/// Run one attack/heal schedule to completion on `g`.
+/// DEPRECATED: wrap the graph/state/healer in an api::Network and call
+/// run(). Kept for one release for drivers that only used the run
+/// loop; note that the measurement fields the old ScheduleConfig
+/// carried are intentionally gone (see the migration table above), so
+/// callers that set them must move to observers now.
 ScheduleResult run_schedule(graph::Graph& g, core::HealingState& state,
                             attack::AttackStrategy& attacker,
                             core::HealingStrategy& healer,
@@ -71,6 +61,7 @@ using GraphFactory = std::function<graph::Graph(dash::util::Rng&)>;
 using AttackFactory =
     std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>;
 
+/// DEPRECATED: use api::SuiteConfig.
 struct InstanceConfig {
   GraphFactory make_graph;
   AttackFactory make_attack;
@@ -80,12 +71,11 @@ struct InstanceConfig {
   ScheduleConfig schedule;
 };
 
-/// Run `instances` independent schedules (in parallel when `pool` is
-/// given) and return per-instance results, ordered by instance index.
+/// DEPRECATED: forwards to api::run_suite.
 std::vector<ScheduleResult> run_instances(const InstanceConfig& cfg,
                                           dash::util::ThreadPool* pool);
 
-/// Aggregate a metric across instances.
+/// Aggregate a metric across instances (forwards to api::summarize_metric).
 dash::util::Summary summarize_metric(
     const std::vector<ScheduleResult>& results,
     const std::function<double(const ScheduleResult&)>& metric);

@@ -1,0 +1,34 @@
+// metrics.h -- the metric snapshot a Network engine reports.
+//
+// Engine-maintained fields (deletions, edges_added, ...) are updated as
+// events happen; observer-contributed fields (violation, max_stretch)
+// are filled in by whichever observers are registered when the engine
+// finishes a run. The struct is the same shape the paper's experiments
+// report, so one snapshot serves every figure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dash::api {
+
+struct Metrics {
+  std::size_t deletions = 0;  ///< adversarial/organic removals so far
+  std::size_t joins = 0;      ///< organic arrivals so far
+  /// Paper's headline metric: max over nodes and over time of delta(v).
+  std::uint32_t max_delta = 0;
+  std::uint32_t max_id_changes = 0;
+  std::uint64_t max_messages = 0;       ///< sent + received (Lemma 8)
+  std::uint64_t max_messages_sent = 0;  ///< sent only (Fig. 9(b)'s metric)
+  std::size_t edges_added = 0;          ///< healing edges inserted into G
+  std::size_t surrogate_heals = 0;      ///< SDASH star-rule activations
+  double max_stretch = 0.0;  ///< max over sampled rounds (StretchObserver)
+  bool stayed_connected = true;
+  /// First invariant violation encountered (empty if none / unchecked;
+  /// filled by InvariantObserver).
+  std::string violation;
+  double heal_seconds = 0.0;  ///< time spent inside heal() calls
+};
+
+}  // namespace dash::api

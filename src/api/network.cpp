@@ -1,0 +1,176 @@
+#include "api/network.h"
+
+#include <utility>
+
+#include "core/batch.h"
+#include "core/factory.h"
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dash::api {
+
+using core::HealAction;
+using core::HealingState;
+using graph::Graph;
+using graph::NodeId;
+
+Network::Network(Graph g, std::unique_ptr<core::HealingStrategy> healer,
+                 dash::util::Rng& rng)
+    : owned_g_(std::move(g)),
+      owned_healer_(std::move(healer)),
+      g_(&*owned_g_),
+      healer_(owned_healer_.get()) {
+  DASH_CHECK_MSG(healer_ != nullptr, "Network needs a healing strategy");
+  owned_state_.emplace(*g_, rng);
+  state_ = &*owned_state_;
+  initial_size_ = g_->num_alive();
+}
+
+Network::Network(Graph g, const std::string& healer_spec,
+                 std::uint64_t seed)
+    : owned_g_(std::move(g)),
+      owned_healer_(core::make_strategy(healer_spec)),
+      g_(&*owned_g_),
+      healer_(owned_healer_.get()) {
+  dash::util::Rng rng(seed);
+  owned_state_.emplace(*g_, rng);
+  state_ = &*owned_state_;
+  initial_size_ = g_->num_alive();
+}
+
+Network::Network(Graph& g, HealingState& state,
+                 core::HealingStrategy& healer)
+    : g_(&g), state_(&state), healer_(&healer) {
+  initial_size_ = g_->num_alive();
+}
+
+void Network::attach(Observer* obs) {
+  DASH_CHECK_MSG(obs != nullptr, "null observer");
+  observers_.push_back(obs);
+  obs->on_attach(*this);
+}
+
+void Network::add_observer(Observer* obs) { attach(obs); }
+
+Observer& Network::add_observer(std::unique_ptr<Observer> obs) {
+  Observer& ref = *obs;
+  owned_observers_.push_back(std::move(obs));
+  attach(&ref);
+  return ref;
+}
+
+void Network::notify_round_begin(std::size_t round) {
+  for (Observer* obs : observers_) obs->on_round_begin(*this, round);
+}
+
+void Network::finish_round(RoundEvent& ev) {
+  ev.connected = graph::is_connected(*g_);
+  last_connected_ = ev.connected;
+  if (!ev.connected) engine_.stayed_connected = false;
+  if (ev.ctx != nullptr) {
+    for (Observer* obs : observers_) obs->on_heal(*this, ev);
+  }
+  for (Observer* obs : observers_) obs->on_round_end(*this, ev);
+}
+
+HealAction Network::remove(NodeId v) {
+  DASH_CHECK_MSG(g_->alive(v), "removing a dead node");
+  notify_round_begin(engine_.deletions + 1);
+
+  const core::DeletionContext ctx = state_->begin_deletion(*g_, v);
+  const auto removed_neighbors = g_->delete_node(v);
+  DASH_CHECK(removed_neighbors == ctx.neighbors_g);
+
+  dash::util::Timer heal_timer;
+  const HealAction action = healer_->heal(*g_, *state_, ctx);
+  engine_.heal_seconds += heal_timer.seconds();
+
+  ++engine_.deletions;
+  engine_.edges_added += action.new_graph_edges.size();
+  if (action.used_surrogate) ++engine_.surrogate_heals;
+
+  RoundEvent ev;
+  ev.round = engine_.deletions;
+  ev.victim = v;
+  ev.ctx = &ctx;
+  ev.action = &action;
+  ev.edges_added = action.new_graph_edges.size();
+  finish_round(ev);
+  return action;
+}
+
+std::vector<HealAction> Network::remove_batch(
+    const std::vector<NodeId>& batch) {
+  DASH_CHECK_MSG(!batch.empty(), "empty deletion batch");
+  // Round ids are cumulative deletion counts; begin and end of one
+  // round must agree, so the batch's id is known up front.
+  notify_round_begin(engine_.deletions + batch.size());
+
+  const core::BatchDeletionContext ctx =
+      core::begin_batch_deletion(*state_, *g_, batch);
+  core::delete_batch(*g_, batch);
+
+  dash::util::Timer heal_timer;
+  const auto actions = core::dash_heal_batch(*g_, *state_, ctx);
+  engine_.heal_seconds += heal_timer.seconds();
+
+  engine_.deletions += batch.size();
+  std::size_t round_edges = 0;
+  for (const auto& action : actions) {
+    round_edges += action.new_graph_edges.size();
+    if (action.used_surrogate) ++engine_.surrogate_heals;
+  }
+  engine_.edges_added += round_edges;
+
+  RoundEvent ev;
+  ev.round = engine_.deletions;
+  ev.deletions_in_round = batch.size();
+  ev.victim = batch.front();
+  ev.edges_added = round_edges;
+  finish_round(ev);
+  return actions;
+}
+
+NodeId Network::join(const std::vector<NodeId>& attach_to) {
+  const NodeId joined = state_->join_node(*g_, attach_to);
+  ++engine_.joins;
+  if (attach_to.empty() && g_->num_alive() > 1) {
+    // An unattached newcomer is its own component.
+    last_connected_ = false;
+    engine_.stayed_connected = false;
+  }
+  const JoinEvent ev{joined, attach_to};
+  for (Observer* obs : observers_) obs->on_join(*this, ev);
+  return joined;
+}
+
+Metrics Network::run(attack::AttackStrategy& attacker,
+                     const RunOptions& opts) {
+  while (g_->num_alive() > 1 && engine_.deletions < opts.max_deletions) {
+    if (opts.stop_condition && opts.stop_condition(*this)) break;
+    const NodeId victim = attacker.select(*g_, *state_);
+    if (victim == graph::kInvalidNode) break;  // attack finished early
+    DASH_CHECK_MSG(g_->alive(victim), "attacker chose a dead node");
+    remove(victim);
+    if (!last_connected_ && opts.stop_when_disconnected) break;
+  }
+  return finish();
+}
+
+Metrics Network::metrics() const {
+  Metrics m = engine_;
+  m.max_delta = state_->max_delta_ever();
+  m.max_id_changes = state_->max_id_changes();
+  m.max_messages = state_->max_messages();
+  m.max_messages_sent = state_->max_messages_sent();
+  return m;
+}
+
+Metrics Network::finish() {
+  Metrics m = metrics();
+  for (Observer* obs : observers_) obs->on_finish(*this, m);
+  return m;
+}
+
+}  // namespace dash::api

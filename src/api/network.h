@@ -1,0 +1,143 @@
+// network.h -- the self-healing network engine: one object that owns
+// the graph, the healing state, and the healing strategy, exposes the
+// paper's protocol as events (remove / remove_batch / join / run), and
+// feeds a pluggable Observer pipeline.
+//
+// Every workload in this repository -- figure benches, the sweep CLI,
+// the examples, the schedule-level tests -- drives this engine; the old
+// free-function drivers in analysis/experiment.h are deprecated shims
+// over it.
+//
+//   api::Network net(graph::barabasi_albert(256, 2, rng), "dash", rng);
+//   api::InvariantObserver inv;
+//   net.add_observer(&inv);
+//   auto attacker = attack::make_attack("neighborofmax", 7);
+//   const api::Metrics m = net.run(*attacker);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/metrics.h"
+#include "api/observer.h"
+#include "attack/strategy.h"
+#include "core/healing_state.h"
+#include "core/strategy.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dash::api {
+
+struct RunOptions {
+  /// Maximum deletions for this run() call (counted across calls; by
+  /// default run until <= 1 alive node or the attack stops on its own).
+  std::size_t max_deletions = std::numeric_limits<std::size_t>::max();
+  /// Stop the run loop once the network disconnects (meaningful for
+  /// NoHeal only; healers never disconnect).
+  bool stop_when_disconnected = false;
+  /// Extra stop condition, evaluated before each round.
+  std::function<bool(const Network&)> stop_condition;
+};
+
+class Network {
+ public:
+  /// Owning constructor: takes the initial network, the healing
+  /// strategy, and the RNG stream used to draw the healing state's
+  /// initial ids (the caller's stream, so graph generation and id
+  /// assignment share one seed exactly as the experiments require).
+  Network(graph::Graph g, std::unique_ptr<core::HealingStrategy> healer,
+          dash::util::Rng& rng);
+
+  /// Owning constructor from a healer spec string ("dash", "capped:2",
+  /// ... -- anything in core::healer_registry()) and a bare seed.
+  Network(graph::Graph g, const std::string& healer_spec,
+          std::uint64_t seed);
+
+  /// Borrowed constructor: operate on externally owned graph/state/
+  /// healer. Exists for the deprecated analysis::run_schedule shim;
+  /// new code should use the owning constructors.
+  Network(graph::Graph& g, core::HealingState& state,
+          core::HealingStrategy& healer);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- observer pipeline --------------------------------------------
+
+  /// Register a non-owned observer (must outlive the engine's use).
+  /// Observers are notified in registration order.
+  void add_observer(Observer* obs);
+
+  /// Register an engine-owned observer; returns a reference for later
+  /// inspection.
+  Observer& add_observer(std::unique_ptr<Observer> obs);
+
+  // ---- events -------------------------------------------------------
+
+  /// Delete one alive node and heal. Returns the heal record.
+  core::HealAction remove(graph::NodeId v);
+
+  /// Delete a set of nodes *simultaneously* (paper footnote 1) and heal
+  /// cluster-wise with the DASH batch protocol -- the only batch
+  /// healing the paper defines, applied regardless of the configured
+  /// single-deletion healer. Counts as one round. Returns one heal
+  /// record per deleted cluster.
+  std::vector<core::HealAction> remove_batch(
+      const std::vector<graph::NodeId>& batch);
+
+  /// Organic arrival: admit a brand-new node wired to `attach_to`
+  /// (all alive). Join edges shift baselines, not deltas. Returns the
+  /// new node's id.
+  graph::NodeId join(const std::vector<graph::NodeId>& attach_to);
+
+  /// Drive the attacker until it stops, the network is exhausted, or a
+  /// stop condition fires; then finish() and return the snapshot.
+  Metrics run(attack::AttackStrategy& attacker, const RunOptions& opts = {});
+
+  /// Snapshot metrics and give every observer its on_finish() chance to
+  /// contribute (violation, stretch, ...). Idempotent; run() calls it.
+  Metrics finish();
+
+  // ---- introspection ------------------------------------------------
+
+  const graph::Graph& graph() const { return *g_; }
+  const core::HealingState& state() const { return *state_; }
+  const core::HealingStrategy& healer() const { return *healer_; }
+  /// Alive-node count when the engine was constructed (the `n` of the
+  /// paper's bounds).
+  std::size_t initial_size() const { return initial_size_; }
+  /// Deletions so far (== the last RoundEvent's round).
+  std::size_t rounds() const { return engine_.deletions; }
+  /// False once any post-heal connectivity check failed.
+  bool stayed_connected() const { return engine_.stayed_connected; }
+
+  /// Engine-maintained metrics refreshed from the healing state, with
+  /// no observer contributions (use finish() for those).
+  Metrics metrics() const;
+
+ private:
+  void attach(Observer* obs);
+  void notify_round_begin(std::size_t round);
+  void finish_round(RoundEvent& ev);
+
+  std::optional<graph::Graph> owned_g_;
+  std::optional<core::HealingState> owned_state_;
+  std::unique_ptr<core::HealingStrategy> owned_healer_;
+  std::vector<std::unique_ptr<Observer>> owned_observers_;
+
+  graph::Graph* g_ = nullptr;
+  core::HealingState* state_ = nullptr;
+  core::HealingStrategy* healer_ = nullptr;
+  std::vector<Observer*> observers_;
+
+  Metrics engine_;  ///< incrementally maintained fields only
+  std::size_t initial_size_ = 0;
+  bool last_connected_ = true;
+};
+
+}  // namespace dash::api

@@ -1,0 +1,85 @@
+// observer.h -- the pluggable measurement/validation pipeline of the
+// api::Network engine.
+//
+// The engine owns the protocol loop (delete -> heal -> propagate); what
+// used to be hardwired flags on the old analysis::ScheduleConfig
+// (invariant battery, stretch tracking, per-round recording) is now a
+// list of observers registered on the engine. Observers are notified in
+// registration order -- register producers before consumers (e.g. a
+// StretchObserver before the RecorderObserver that reads its samples).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/metrics.h"
+#include "core/healing_state.h"
+#include "core/strategy.h"
+
+namespace dash::api {
+
+class Network;
+
+/// One engine round: a deletion (or simultaneous batch of deletions)
+/// followed by a heal. For single deletions `ctx`/`action` point at the
+/// deletion context and the strategy's heal record; for batch rounds
+/// they are null (the paper's footnote-1 batch protocol has per-cluster
+/// contexts, summarized in the engine metrics instead).
+struct RoundEvent {
+  std::size_t round = 0;  ///< 1-based, == Metrics::deletions after the round
+  std::size_t deletions_in_round = 1;
+  /// Single-deletion victim; first batch member for batch rounds.
+  graph::NodeId victim = graph::kInvalidNode;
+  const core::DeletionContext* ctx = nullptr;  ///< null for batch rounds
+  const core::HealAction* action = nullptr;    ///< null for batch rounds
+  /// Healing edges inserted into G this round (summed over the batch's
+  /// clusters for batch rounds).
+  std::size_t edges_added = 0;
+  bool connected = true;  ///< post-heal connectivity of the network
+};
+
+/// One organic arrival (Network::join). Holds the attach list by value
+/// so observers may copy or store the event beyond the callback.
+struct JoinEvent {
+  graph::NodeId joined = graph::kInvalidNode;
+  std::vector<graph::NodeId> attached_to;
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when registered on an engine; snapshot baselines here
+  /// (initial size, original distances, ...).
+  virtual void on_attach(const Network& /*net*/) {}
+
+  /// Called before the round's deletion mutates the network. `round`
+  /// is the id the matching RoundEvent will carry: the cumulative
+  /// deletion count once this round completes (for a batch round that
+  /// is current deletions + batch size).
+  virtual void on_round_begin(const Network& /*net*/,
+                              std::size_t /*round*/) {}
+
+  /// Called after the heal and the engine's round accounting (the
+  /// event's metrics are post-round), immediately before on_round_end.
+  /// Only fires for single-deletion rounds, where ev.ctx/ev.action
+  /// describe the one heal; batch rounds go straight to on_round_end.
+  virtual void on_heal(const Network& /*net*/, const RoundEvent& /*ev*/) {}
+
+  /// Called after the engine finished the round's accounting (always,
+  /// for both single and batch rounds).
+  virtual void on_round_end(const Network& /*net*/,
+                            const RoundEvent& /*ev*/) {}
+
+  /// Called after an organic arrival was wired in.
+  virtual void on_join(const Network& /*net*/, const JoinEvent& /*ev*/) {}
+
+  /// Called by Network::finish()/run(); contribute observer-owned
+  /// metrics (violation, stretch, ...) to the outgoing snapshot.
+  virtual void on_finish(const Network& /*net*/, Metrics& /*out*/) {}
+};
+
+}  // namespace dash::api

@@ -1,0 +1,104 @@
+#include "api/observers.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace dash::api {
+
+using analysis::Check;
+
+// ---- InvariantObserver ----------------------------------------------
+
+void InvariantObserver::on_attach(const Network& net) {
+  initial_size_ = net.initial_size();
+}
+
+void InvariantObserver::run_battery(const Network& net,
+                                    const RoundEvent* ev) {
+  if (!violation_.empty()) return;  // keep the first violation
+  const auto& g = net.graph();
+  const auto& state = net.state();
+
+  Check c = Check::pass();
+  if (ev != nullptr && ev->ctx != nullptr && ev->action != nullptr) {
+    c = analysis::check_locality(*ev->action, *ev->ctx);
+  }
+  if (c.ok && net.healer().maintains_forest()) {
+    c = analysis::check_forest(g, state);
+  }
+  if (c.ok) c = analysis::check_component_ids(g, state);
+  if (c.ok) c = analysis::check_healing_subgraph(g, state);
+  if (c.ok) c = analysis::check_delta_consistency(g, state);
+  if (c.ok && opts_.check_rem_bound) c = analysis::check_rem_bound(g, state);
+  if (c.ok && opts_.check_delta_bound) {
+    c = analysis::check_delta_bound(state, initial_size_);
+  }
+  if (!c.ok) violation_ = c.violation;
+}
+
+void InvariantObserver::on_round_end(const Network& net,
+                                     const RoundEvent& ev) {
+  run_battery(net, &ev);
+}
+
+void InvariantObserver::on_join(const Network& net, const JoinEvent&) {
+  run_battery(net, nullptr);
+}
+
+void InvariantObserver::on_finish(const Network&, Metrics& out) {
+  if (out.violation.empty()) out.violation = violation_;
+}
+
+// ---- StretchObserver ------------------------------------------------
+
+void StretchObserver::on_attach(const Network& net) {
+  tracker_.emplace(net.graph());
+}
+
+void StretchObserver::on_join(const Network&, const JoinEvent&) {
+  // The time-0 distance matrix has no rows for joined nodes; any
+  // further sample would be over a mismatched id space.
+  active_ = false;
+}
+
+void StretchObserver::on_round_end(const Network& net,
+                                   const RoundEvent& ev) {
+  sampled_last_round_ = false;
+  if (!active_) return;
+  const bool due = ev.round % sample_every_ == 0 ||
+                   net.graph().num_alive() <= 2;
+  if (!due || !ev.connected) return;
+  last_sample_ = tracker_->max_stretch(net.graph());
+  max_stretch_ = std::max(max_stretch_, last_sample_);
+  sampled_last_round_ = true;
+}
+
+void StretchObserver::on_finish(const Network&, Metrics& out) {
+  out.max_stretch = std::max(out.max_stretch, max_stretch_);
+}
+
+// ---- RecorderObserver -----------------------------------------------
+
+void RecorderObserver::on_round_end(const Network& net,
+                                    const RoundEvent& ev) {
+  // Batch rounds produce one row covering deletions_in_round nodes:
+  // `round` jumps by the batch size and `deleted_node` names the first
+  // batch member.
+  analysis::DeletionRecord rec;
+  rec.round = ev.round;
+  rec.deleted_node =
+      ev.victim == graph::kInvalidNode ? 0 : ev.victim;
+  rec.alive = net.graph().num_alive();
+  rec.edges = net.graph().num_edges();
+  rec.edges_added = ev.edges_added;
+  rec.max_delta = net.state().max_delta_ever();
+  rec.largest_component = graph::connected_components(net.graph()).largest();
+  if (stretch_ != nullptr && stretch_->sampled_last_round()) {
+    rec.stretch = stretch_->last_sample();
+    rec.stretch_sampled = true;
+  }
+  recorder_.add(rec);
+}
+
+}  // namespace dash::api

@@ -1,0 +1,113 @@
+// observers.h -- the built-in observer set: everything the old
+// analysis::ScheduleConfig booleans hardwired, as pluggable pipeline
+// stages.
+//
+//   InvariantObserver -- the full per-round invariant battery
+//                        (+ optional DASH-only rem / delta bounds)
+//   StretchObserver   -- Fig. 10 stretch sampling against the time-0
+//                        network
+//   RecorderObserver  -- per-round time series into analysis::Recorder
+//
+// Register producers before consumers: a RecorderObserver that should
+// log stretch samples must come after its StretchObserver.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "analysis/invariants.h"
+#include "analysis/recorder.h"
+#include "analysis/stretch.h"
+#include "api/network.h"
+#include "api/observer.h"
+
+namespace dash::api {
+
+struct InvariantOptions {
+  /// Lemma-4 rem bound is DASH-specific; opt-in.
+  bool check_rem_bound = false;
+  /// Theorem-1 delta <= 2 log2 n bound; proven for DASH only, opt-in.
+  bool check_delta_bound = false;
+};
+
+/// Evaluates the invariant battery after every round (and every join);
+/// remembers the first violation and contributes it to Metrics.
+/// Slow (integration tests switch it on, figure benches do not).
+class InvariantObserver final : public Observer {
+ public:
+  explicit InvariantObserver(InvariantOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "invariants"; }
+  void on_attach(const Network& net) override;
+  void on_round_end(const Network& net, const RoundEvent& ev) override;
+  void on_join(const Network& net, const JoinEvent& ev) override;
+  void on_finish(const Network& net, Metrics& out) override;
+
+  bool ok() const { return violation_.empty(); }
+  /// First violation encountered (empty if none).
+  const std::string& violation() const { return violation_; }
+
+ private:
+  void run_battery(const Network& net, const RoundEvent* ev);
+
+  InvariantOptions opts_;
+  std::size_t initial_size_ = 0;
+  std::string violation_;
+};
+
+/// Samples the Section 4.6.1 stretch metric against the time-0 network
+/// every `sample_every`-th deletion (stretch costs O(n*m) per sample).
+/// `sample_every == 0` is clamped to 1. Needs O(n^2) baseline memory.
+///
+/// Stretch is only defined relative to the frozen time-0 distances, so
+/// sampling stops permanently once a join grows the node-id space (the
+/// newcomers have no original distance); max_stretch() then reports
+/// the pre-join maximum.
+class StretchObserver final : public Observer {
+ public:
+  explicit StretchObserver(std::size_t sample_every = 1)
+      : sample_every_(sample_every == 0 ? 1 : sample_every) {}
+
+  std::string name() const override { return "stretch"; }
+  void on_attach(const Network& net) override;
+  void on_round_end(const Network& net, const RoundEvent& ev) override;
+  void on_join(const Network& net, const JoinEvent& ev) override;
+  void on_finish(const Network& net, Metrics& out) override;
+
+  double max_stretch() const { return max_stretch_; }
+  /// Last sampled value (0 before the first sample).
+  double last_sample() const { return last_sample_; }
+  bool sampled_last_round() const { return sampled_last_round_; }
+  /// False once a join froze sampling.
+  bool active() const { return active_; }
+
+ private:
+  std::size_t sample_every_;
+  std::optional<analysis::StretchTracker> tracker_;
+  double max_stretch_ = 0.0;
+  double last_sample_ = 0.0;
+  bool sampled_last_round_ = false;
+  bool active_ = true;
+};
+
+/// Appends one analysis::DeletionRecord per round to a Recorder. Pass
+/// the StretchObserver (registered *before* this one) to log its
+/// samples into the time series.
+class RecorderObserver final : public Observer {
+ public:
+  explicit RecorderObserver(analysis::Recorder& recorder,
+                            const StretchObserver* stretch = nullptr)
+      : recorder_(recorder), stretch_(stretch) {}
+
+  std::string name() const override { return "recorder"; }
+  void on_round_end(const Network& net, const RoundEvent& ev) override;
+
+  const analysis::Recorder& recorder() const { return recorder_; }
+
+ private:
+  analysis::Recorder& recorder_;
+  const StretchObserver* stretch_;
+};
+
+}  // namespace dash::api

@@ -1,0 +1,43 @@
+#include "api/suite.h"
+
+#include "util/check.h"
+
+namespace dash::api {
+
+std::vector<Metrics> run_suite(const SuiteConfig& cfg,
+                               dash::util::ThreadPool* pool) {
+  DASH_CHECK(cfg.make_graph && cfg.make_attacker && cfg.make_healer);
+  std::vector<Metrics> results(cfg.instances);
+
+  auto run_one = [&cfg, &results](std::size_t i) {
+    // Each instance owns an independent deterministic stream derived
+    // from (base_seed, i): results do not depend on thread scheduling.
+    // The stream consumption order (graph, then state ids, then attack
+    // seed) matches the original run_instances driver bit-for-bit.
+    dash::util::Rng seeder(cfg.base_seed);
+    dash::util::Rng rng = seeder.fork(i + 1);
+    graph::Graph g = cfg.make_graph(rng);
+    Network net(std::move(g), cfg.make_healer(), rng);
+    auto attacker = cfg.make_attacker(rng.next_u64());
+    if (cfg.configure) cfg.configure(net);
+    results[i] = net.run(*attacker, cfg.run);
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(cfg.instances, run_one);
+  } else {
+    for (std::size_t i = 0; i < cfg.instances; ++i) run_one(i);
+  }
+  return results;
+}
+
+dash::util::Summary summarize_metric(
+    const std::vector<Metrics>& results,
+    const std::function<double(const Metrics&)>& metric) {
+  std::vector<double> xs;
+  xs.reserve(results.size());
+  for (const auto& r : results) xs.push_back(metric(r));
+  return dash::util::summarize(xs);
+}
+
+}  // namespace dash::api

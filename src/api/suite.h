@@ -1,0 +1,58 @@
+// suite.h -- multi-instance experiment driver over api::Network: the
+// Sec. 4.1 methodology (N independent random instances, each with its
+// own deterministic RNG stream, averaged afterwards) for the new
+// engine. Replaces the deprecated analysis::run_instances.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/network.h"
+#include "attack/factory.h"
+#include "core/factory.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace dash::api {
+
+struct SuiteConfig {
+  /// Draw the instance's starting network from its RNG stream.
+  std::function<graph::Graph(dash::util::Rng&)> make_graph;
+  /// Build the instance's adversary from its derived seed.
+  std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>
+      make_attacker;
+  /// Build the instance's healer.
+  std::function<std::unique_ptr<core::HealingStrategy>()> make_healer;
+  /// Register per-instance observers on the fresh engine (optional).
+  std::function<void(Network&)> configure;
+  std::size_t instances = 30;
+  std::uint64_t base_seed = 0xDA5Bu;
+  RunOptions run;
+};
+
+/// Registry-spec conveniences for SuiteConfig wiring.
+inline std::function<std::unique_ptr<core::HealingStrategy>()>
+healer_factory(const std::string& spec) {
+  return [spec] { return core::make_strategy(spec); };
+}
+
+inline std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>
+attacker_factory(const std::string& spec) {
+  return [spec](std::uint64_t seed) { return attack::make_attack(spec, seed); };
+}
+
+/// Run `instances` independent schedules (in parallel when `pool` is
+/// given) and return per-instance metrics, ordered by instance index.
+/// Results do not depend on the worker count.
+std::vector<Metrics> run_suite(const SuiteConfig& cfg,
+                               dash::util::ThreadPool* pool = nullptr);
+
+/// Aggregate one metric across instances.
+dash::util::Summary summarize_metric(
+    const std::vector<Metrics>& results,
+    const std::function<double(const Metrics&)>& metric);
+
+}  // namespace dash::api

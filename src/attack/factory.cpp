@@ -1,36 +1,60 @@
 #include "attack/factory.h"
 
-#include <algorithm>
-#include <stdexcept>
-
 #include "attack/basic.h"
 
 namespace dash::attack {
 
 namespace {
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
+
+/// Factory for deterministic attacks (the seed is accepted, unused).
+template <typename A>
+std::unique_ptr<AttackStrategy> unseeded(const std::string& param,
+                                         std::uint64_t /*seed*/) {
+  if (!param.empty()) {
+    throw std::invalid_argument("attack does not take a parameter: '" +
+                                param + "'");
+  }
+  return std::make_unique<A>();
 }
+
+/// Factory for attacks that draw randomness from the seed.
+template <typename A>
+std::unique_ptr<AttackStrategy> seeded(const std::string& param,
+                                       std::uint64_t seed) {
+  if (!param.empty()) {
+    throw std::invalid_argument("attack does not take a parameter: '" +
+                                param + "'");
+  }
+  return std::make_unique<A>(seed);
+}
+
+void register_builtins(util::Registry<AttackStrategy, std::uint64_t>& r) {
+  r.add("maxnode", unseeded<MaxNodeAttack>, {"max"});
+  r.add("neighborofmax", seeded<NeighborOfMaxAttack>, {"nms"});
+  r.add("random", seeded<RandomAttack>);
+  r.add("minnode", unseeded<MinNodeAttack>, {"min"});
+  r.add("maxdelta", unseeded<MaxDeltaAttack>);
+}
+
 }  // namespace
+
+util::Registry<AttackStrategy, std::uint64_t>& attack_registry() {
+  // Lazy built-in registration for the same reason as healer_registry():
+  // static registrars in a static library can be dropped by the linker.
+  static util::Registry<AttackStrategy, std::uint64_t>* registry = [] {
+    auto* r =
+        new util::Registry<AttackStrategy, std::uint64_t>("attack strategy");
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
 
 std::unique_ptr<AttackStrategy> make_attack(const std::string& name,
                                             std::uint64_t seed) {
-  const std::string key = lower(name);
-  if (key == "maxnode" || key == "max")
-    return std::make_unique<MaxNodeAttack>();
-  if (key == "neighborofmax" || key == "nms")
-    return std::make_unique<NeighborOfMaxAttack>(seed);
-  if (key == "random") return std::make_unique<RandomAttack>(seed);
-  if (key == "minnode" || key == "min")
-    return std::make_unique<MinNodeAttack>();
-  if (key == "maxdelta") return std::make_unique<MaxDeltaAttack>();
-  throw std::invalid_argument("unknown attack strategy: " + name);
+  return attack_registry().create(name, seed);
 }
 
-std::vector<std::string> attack_names() {
-  return {"maxnode", "neighborofmax", "random", "minnode", "maxdelta"};
-}
+std::vector<std::string> attack_names() { return attack_registry().names(); }
 
 }  // namespace dash::attack

@@ -1,18 +1,30 @@
 // factory.h -- construct attack strategies by name (CLI-facing).
 // LEVELATTACK is excluded: it needs the k-ary tree metadata and is
 // constructed explicitly by the lower-bound bench.
+//
+// All lookups go through one util::Registry instance (the same
+// mechanism that serves healing strategies); make_attack is a thin
+// forwarder kept for source compatibility. The registry's extra
+// argument is the RNG seed randomized attacks consume.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "attack/strategy.h"
+#include "util/registry.h"
 
 namespace dash::attack {
 
-/// Names: "maxnode", "neighborofmax" (alias "nms"), "random", "minnode",
-/// "maxdelta". Case-insensitive. Throws std::invalid_argument otherwise.
+/// The single registry serving every attack-strategy lookup. Built-in
+/// entries: "maxnode" (alias "max"), "neighborofmax" (alias "nms"),
+/// "random", "minnode" (alias "min"), "maxdelta". Case-insensitive.
+util::Registry<AttackStrategy, std::uint64_t>& attack_registry();
+
+/// Forwards to attack_registry().create(). Throws std::invalid_argument
+/// for unknown names, listing every registered spelling.
 std::unique_ptr<AttackStrategy> make_attack(const std::string& name,
                                             std::uint64_t seed);
 

@@ -1,7 +1,6 @@
 #include "core/factory.h"
 
-#include <algorithm>
-#include <stdexcept>
+#include <limits>
 
 #include "core/binary_tree_heal.h"
 #include "core/dash.h"
@@ -14,51 +13,74 @@
 namespace dash::core {
 
 namespace {
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
+
+/// Factory for entries that take no spec parameter.
+template <typename S>
+std::unique_ptr<HealingStrategy> simple(const std::string& param) {
+  if (!param.empty()) {
+    throw std::invalid_argument("strategy does not take a parameter: '" +
+                                param + "'");
+  }
+  return std::make_unique<S>();
 }
+
+void register_builtins(util::Registry<HealingStrategy>& r) {
+  r.add("dash", simple<DashStrategy>);
+  r.add("sdash",
+        [](const std::string& param) -> std::unique_ptr<HealingStrategy> {
+          if (param.empty()) return std::make_unique<SdashStrategy>();
+          return std::make_unique<SdashStrategy>(static_cast<std::uint32_t>(
+              util::parse_spec_uint(
+                  "sdash", param,
+                  std::numeric_limits<std::uint32_t>::max())));
+        },
+        {}, "sdash[:<slack>]");
+  r.add("graph", simple<GraphHealStrategy>, {"graphheal"});
+  r.add("binarytree", simple<BinaryTreeHealStrategy>, {"btree"});
+  r.add("line", simple<LineHealStrategy>, {"lineheal"});
+  r.add("none", simple<NoHealStrategy>, {"noheal"});
+  r.add("capped",
+        [](const std::string& param) -> std::unique_ptr<HealingStrategy> {
+          return std::make_unique<DegreeCappedStrategy>(
+              static_cast<std::uint32_t>(util::parse_spec_uint(
+                  "capped", param,
+                  std::numeric_limits<std::uint32_t>::max())));
+        },
+        {}, "capped:<M>");
+}
+
 }  // namespace
 
+util::Registry<HealingStrategy>& healer_registry() {
+  // Built-ins are registered lazily here rather than via static
+  // Registrar objects: this accessor is always linked in, whereas the
+  // linker may drop unreferenced registrars from a static library.
+  static util::Registry<HealingStrategy>* registry = [] {
+    auto* r = new util::Registry<HealingStrategy>("healing strategy");
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
 std::unique_ptr<HealingStrategy> make_strategy(const std::string& name) {
-  const std::string key = lower(name);
-  if (key == "dash") return std::make_unique<DashStrategy>();
-  if (key == "sdash") return std::make_unique<SdashStrategy>();
-  if (key.rfind("sdash:", 0) == 0) {
-    const auto slack = std::stoul(key.substr(6));
-    return std::make_unique<SdashStrategy>(
-        static_cast<std::uint32_t>(slack));
-  }
-  if (key == "graph" || key == "graphheal")
-    return std::make_unique<GraphHealStrategy>();
-  if (key == "binarytree" || key == "btree")
-    return std::make_unique<BinaryTreeHealStrategy>();
-  if (key == "line" || key == "lineheal")
-    return std::make_unique<LineHealStrategy>();
-  if (key == "none" || key == "noheal")
-    return std::make_unique<NoHealStrategy>();
-  if (key.rfind("capped:", 0) == 0) {
-    const auto m = std::stoul(key.substr(7));
-    return std::make_unique<DegreeCappedStrategy>(
-        static_cast<std::uint32_t>(m));
-  }
-  throw std::invalid_argument("unknown healing strategy: " + name);
+  return healer_registry().create(name);
+}
+
+std::vector<std::string> paper_strategy_specs() {
+  return {"graph", "line", "binarytree", "dash", "sdash"};
 }
 
 std::vector<std::unique_ptr<HealingStrategy>> paper_strategies() {
   std::vector<std::unique_ptr<HealingStrategy>> out;
-  out.push_back(std::make_unique<GraphHealStrategy>());
-  out.push_back(std::make_unique<LineHealStrategy>());
-  out.push_back(std::make_unique<BinaryTreeHealStrategy>());
-  out.push_back(std::make_unique<DashStrategy>());
-  out.push_back(std::make_unique<SdashStrategy>());
+  for (const auto& spec : paper_strategy_specs()) {
+    out.push_back(make_strategy(spec));
+  }
   return out;
 }
 
 std::vector<std::string> strategy_names() {
-  return {"dash", "sdash", "sdash:<slack>", "graph", "binarytree", "line",
-          "none", "capped:<M>"};
+  return healer_registry().names();
 }
 
 }  // namespace dash::core

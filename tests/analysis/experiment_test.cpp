@@ -1,3 +1,7 @@
+// experiment_test.cpp -- the deprecated run_schedule/run_instances
+// shims must behave exactly like the api::Network engine they forward
+// to (they are kept for one release; downstream callers still compile
+// against them).
 #include "analysis/experiment.h"
 
 #include <gtest/gtest.h>
@@ -5,8 +9,7 @@
 #include <sstream>
 
 #include "analysis/recorder.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -42,38 +45,38 @@ TEST(RunSchedule, RespectsMaxDeletions) {
   EXPECT_EQ(r.deletions, 10u);
 }
 
-TEST(RunSchedule, RecorderCapturesEveryRound) {
-  Recorder rec;
-  ScheduleConfig cfg;
-  cfg.recorder = &rec;
-  cfg.max_deletions = 15;
-  const auto r = run_simple("dash", 64, 3, cfg);
-  ASSERT_EQ(rec.rows().size(), r.deletions);
-  // Rounds are 1-based and alive counts strictly decrease.
-  for (std::size_t i = 0; i < rec.rows().size(); ++i) {
-    EXPECT_EQ(rec.rows()[i].round, i + 1);
-    EXPECT_EQ(rec.rows()[i].alive, 64 - (i + 1));
-  }
+TEST(RunSchedule, ShimMatchesEngine) {
+  // The shim is a thin adapter: byte-identical metrics to driving the
+  // owning engine directly from the same seed.
+  const auto shim = run_simple("dash", 64, 7);
+
+  Rng rng(7);
+  Graph g = graph::barabasi_albert(64, 2, rng);
+  api::Network net(std::move(g), core::make_strategy("dash"), rng);
+  auto atk = attack::make_attack("neighborofmax", 7);
+  const auto engine = net.run(*atk);
+
+  EXPECT_EQ(shim.deletions, engine.deletions);
+  EXPECT_EQ(shim.max_delta, engine.max_delta);
+  EXPECT_EQ(shim.max_id_changes, engine.max_id_changes);
+  EXPECT_EQ(shim.max_messages, engine.max_messages);
+  EXPECT_EQ(shim.edges_added, engine.edges_added);
 }
 
-TEST(RunSchedule, StretchTracked) {
+TEST(RunSchedule, ShimMutatesCallerState) {
+  // Legacy drivers inspect graph/state after the run; the borrowed-mode
+  // engine must operate on the caller's objects, not copies.
+  Rng rng(9);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  HealingState st(g, rng);
+  auto atk = attack::make_attack("neighborofmax", 9);
+  auto heal = core::make_strategy("dash");
   ScheduleConfig cfg;
-  cfg.track_stretch = true;
-  cfg.max_deletions = 8;
-  const auto r = run_simple("dash", 32, 4, cfg);
-  EXPECT_GE(r.max_stretch, 1.0);
-}
-
-TEST(RunSchedule, InvariantViolationSurfacesForBadBound) {
-  // GraphHeal with the DASH-only delta bound enabled blows past
-  // 2 log2 n on a long NMS schedule at this size/seed (measured: max
-  // delta 25 vs bound 18); the runner must surface the violation
-  // rather than crash.
-  ScheduleConfig cfg;
-  cfg.check_invariants = true;
-  cfg.check_delta_bound = true;
-  const auto r = run_simple("graph", 512, 5, cfg);
-  EXPECT_FALSE(r.violation.empty());
+  cfg.max_deletions = 5;
+  const auto r = run_schedule(g, st, *atk, *heal, cfg);
+  EXPECT_EQ(r.deletions, 5u);
+  EXPECT_EQ(g.num_alive(), 27u);
+  EXPECT_EQ(st.max_delta_ever(), r.max_delta);
 }
 
 TEST(RunInstances, DeterministicAcrossPoolSizes) {
@@ -126,12 +129,45 @@ TEST(RunInstances, DifferentSeedsDiffer) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(RunInstances, MatchesRunSuite) {
+  // The shim forwards to api::run_suite with the same deterministic
+  // stream layout: per-instance results must be identical.
+  InstanceConfig old_cfg;
+  old_cfg.make_graph = [](Rng& rng) {
+    return graph::barabasi_albert(40, 2, rng);
+  };
+  old_cfg.make_attack = [](std::uint64_t seed) {
+    return attack::make_attack("neighborofmax", seed);
+  };
+  const auto healer = core::make_strategy("sdash");
+  old_cfg.healer = healer.get();
+  old_cfg.instances = 4;
+  old_cfg.base_seed = 0xFEED;
+  const auto via_shim = run_instances(old_cfg, nullptr);
+
+  api::SuiteConfig suite;
+  suite.make_graph = old_cfg.make_graph;
+  suite.make_attacker = api::attacker_factory("neighborofmax");
+  suite.make_healer = api::healer_factory("sdash");
+  suite.instances = 4;
+  suite.base_seed = 0xFEED;
+  const auto direct = api::run_suite(suite, nullptr);
+
+  ASSERT_EQ(via_shim.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_shim[i].max_delta, direct[i].max_delta);
+    EXPECT_EQ(via_shim[i].deletions, direct[i].deletions);
+    EXPECT_EQ(via_shim[i].edges_added, direct[i].edges_added);
+  }
+}
+
 TEST(SummarizeMetric, AggregatesChosenField) {
   std::vector<ScheduleResult> rs(3);
   rs[0].max_delta = 2;
   rs[1].max_delta = 4;
   rs[2].max_delta = 6;
-  const auto s = summarize_metric(
+  // Qualified: ADL on api::Metrics would also find api::summarize_metric.
+  const auto s = dash::analysis::summarize_metric(
       rs, [](const ScheduleResult& r) {
         return static_cast<double>(r.max_delta);
       });

@@ -1,0 +1,189 @@
+// network_test.cpp -- the api::Network engine: event API (remove /
+// remove_batch / join), the run loop, metrics, and the borrowed mode
+// the deprecated shims use.
+#include "api/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/api.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace dash::api {
+namespace {
+
+using dash::util::Rng;
+using graph::Graph;
+using graph::NodeId;
+
+Network make_net(std::size_t n, std::uint64_t seed,
+                 const std::string& healer = "dash") {
+  Rng rng(seed);
+  Graph g = graph::barabasi_albert(n, 2, rng);
+  return Network(std::move(g), core::make_strategy(healer), rng);
+}
+
+TEST(Network, RunsToSingleNode) {
+  auto net = make_net(64, 1);
+  auto atk = attack::make_attack("neighborofmax", 1);
+  const Metrics m = net.run(*atk);
+  EXPECT_EQ(m.deletions, 63u);
+  EXPECT_EQ(net.graph().num_alive(), 1u);
+  EXPECT_TRUE(m.stayed_connected);
+  EXPECT_GT(m.edges_added, 0u);
+  EXPECT_GT(m.max_delta, 0u);
+}
+
+TEST(Network, RespectsMaxDeletions) {
+  auto net = make_net(64, 2);
+  auto atk = attack::make_attack("neighborofmax", 2);
+  RunOptions opts;
+  opts.max_deletions = 10;
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_EQ(m.deletions, 10u);
+  EXPECT_EQ(net.graph().num_alive(), 54u);
+}
+
+TEST(Network, StopConditionEndsRun) {
+  auto net = make_net(64, 3);
+  auto atk = attack::make_attack("maxnode", 3);
+  RunOptions opts;
+  opts.stop_condition = [](const Network& engine) {
+    return engine.graph().num_alive() <= 32;
+  };
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_EQ(net.graph().num_alive(), 32u);
+  EXPECT_EQ(m.deletions, 32u);
+}
+
+TEST(Network, RunContinuesAcrossCalls) {
+  auto net = make_net(64, 4);
+  auto atk = attack::make_attack("neighborofmax", 4);
+  RunOptions opts;
+  opts.max_deletions = 5;  // counted across run() calls
+  net.run(*atk, opts);
+  opts.max_deletions = 12;
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_EQ(m.deletions, 12u);
+}
+
+TEST(Network, RemoveHealsAndReportsAction) {
+  Rng rng(5);
+  Network net(graph::star_graph(8), core::make_strategy("dash"), rng);
+  const auto action = net.remove(0);  // the hub
+  EXPECT_GT(action.new_graph_edges.size(), 0u);
+  EXPECT_TRUE(graph::is_connected(net.graph()));
+  EXPECT_EQ(net.rounds(), 1u);
+}
+
+TEST(Network, SameSeedSameMetrics) {
+  auto a = make_net(48, 77);
+  auto b = make_net(48, 77);
+  auto atk_a = attack::make_attack("random", 9);
+  auto atk_b = attack::make_attack("random", 9);
+  const Metrics ma = a.run(*atk_a);
+  const Metrics mb = b.run(*atk_b);
+  EXPECT_EQ(ma.deletions, mb.deletions);
+  EXPECT_EQ(ma.max_delta, mb.max_delta);
+  EXPECT_EQ(ma.edges_added, mb.edges_added);
+  EXPECT_EQ(ma.max_messages, mb.max_messages);
+}
+
+TEST(Network, SpecConstructorUsesRegistry) {
+  Rng rng(6);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  Network net(std::move(g), "sdash:4", 6);
+  EXPECT_EQ(net.healer().name(), "SDASH(slack=4)");
+  EXPECT_THROW(Network(Graph(4), "bogus", 1), std::invalid_argument);
+}
+
+TEST(Network, BorrowedModeMutatesCallerObjects) {
+  Rng rng(7);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  core::HealingState st(g, rng);
+  auto healer = core::make_strategy("dash");
+  Network net(g, st, *healer);
+  auto atk = attack::make_attack("neighborofmax", 7);
+  RunOptions opts;
+  opts.max_deletions = 6;
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_EQ(m.deletions, 6u);
+  EXPECT_EQ(g.num_alive(), 26u);           // caller's graph mutated
+  EXPECT_EQ(st.max_delta_ever(), m.max_delta);  // caller's state mutated
+}
+
+TEST(Network, RemoveBatchHealsSimultaneousDeletions) {
+  Rng rng(8);
+  Graph g = graph::barabasi_albert(48, 2, rng);
+  Network net(std::move(g), core::make_strategy("dash"), rng);
+  // Delete three adjacent-ish nodes at once (ids 0..2 are the BA core,
+  // so their neighbor-of-neighbor graph stays connected).
+  const auto actions = net.remove_batch({0, 1, 2});
+  EXPECT_GE(actions.size(), 1u);
+  EXPECT_TRUE(graph::is_connected(net.graph()));
+  EXPECT_EQ(net.graph().num_alive(), 45u);
+  const Metrics m = net.metrics();
+  EXPECT_EQ(m.deletions, 3u);
+  EXPECT_TRUE(m.stayed_connected);
+}
+
+TEST(Network, JoinCountsAndExtendsGraph) {
+  Rng rng(9);
+  Network net(graph::path_graph(4), core::make_strategy("dash"), rng);
+  const NodeId v = net.join({0, 3});
+  EXPECT_EQ(v, 4u);
+  EXPECT_TRUE(net.graph().has_edge(4, 0));
+  EXPECT_EQ(net.metrics().joins, 1u);
+  EXPECT_TRUE(net.metrics().stayed_connected);
+}
+
+TEST(Network, MetricsSnapshotMatchesState) {
+  auto net = make_net(40, 10);
+  auto atk = attack::make_attack("maxnode", 10);
+  RunOptions opts;
+  opts.max_deletions = 15;
+  net.run(*atk, opts);
+  const Metrics m = net.metrics();
+  EXPECT_EQ(m.max_delta, net.state().max_delta_ever());
+  EXPECT_EQ(m.max_id_changes, net.state().max_id_changes());
+  EXPECT_EQ(m.max_messages, net.state().max_messages());
+  EXPECT_EQ(m.max_messages_sent, net.state().max_messages_sent());
+  EXPECT_EQ(m.deletions, net.rounds());
+}
+
+TEST(Network, InitialSizeFrozenAtConstruction) {
+  auto net = make_net(32, 11);
+  EXPECT_EQ(net.initial_size(), 32u);
+  net.remove(0);
+  net.join({net.graph().alive_nodes().front()});
+  EXPECT_EQ(net.initial_size(), 32u);
+}
+
+TEST(Network, EarlyStoppingAttackEndsRun) {
+  // An attacker returning kInvalidNode stops the loop.
+  class OneShot final : public attack::AttackStrategy {
+   public:
+    std::string name() const override { return "OneShot"; }
+    NodeId select(const Graph& g, const core::HealingState&) override {
+      if (fired_) return graph::kInvalidNode;
+      fired_ = true;
+      return g.alive_nodes().front();
+    }
+    std::unique_ptr<attack::AttackStrategy> clone() const override {
+      return std::make_unique<OneShot>(*this);
+    }
+
+   private:
+    bool fired_ = false;
+  };
+  auto net = make_net(32, 12);
+  OneShot atk;
+  const Metrics m = net.run(atk);
+  EXPECT_EQ(m.deletions, 1u);
+}
+
+}  // namespace
+}  // namespace dash::api

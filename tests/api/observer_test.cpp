@@ -1,0 +1,281 @@
+// observer_test.cpp -- the Observer pipeline: event delivery, the
+// ported measurement observers (invariants / stretch / recorder), and
+// their Metrics contributions at finish.
+#include "api/observers.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/api.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dash::api {
+namespace {
+
+using dash::util::Rng;
+using graph::Graph;
+using graph::NodeId;
+
+Network make_net(std::size_t n, std::uint64_t seed,
+                 const std::string& healer = "dash") {
+  Rng rng(seed);
+  Graph g = graph::barabasi_albert(n, 2, rng);
+  return Network(std::move(g), core::make_strategy(healer), rng);
+}
+
+/// Counts every pipeline callback.
+class CountingObserver final : public Observer {
+ public:
+  std::string name() const override { return "counting"; }
+  void on_attach(const Network&) override { ++attached; }
+  void on_round_begin(const Network&, std::size_t round) override {
+    ++begins;
+    last_begin_round = round;
+  }
+  void on_heal(const Network&, const RoundEvent& ev) override {
+    ++heals;
+    EXPECT_NE(ev.ctx, nullptr);
+    EXPECT_NE(ev.action, nullptr);
+  }
+  void on_round_end(const Network&, const RoundEvent& ev) override {
+    ++ends;
+    last_end_round = ev.round;
+  }
+  void on_join(const Network&, const JoinEvent&) override { ++joins; }
+  void on_finish(const Network&, Metrics&) override { ++finishes; }
+
+  int attached = 0, begins = 0, heals = 0, ends = 0, joins = 0,
+      finishes = 0;
+  std::size_t last_begin_round = 0, last_end_round = 0;
+};
+
+TEST(ObserverPipeline, EventsFireOncePerRound) {
+  auto net = make_net(32, 1);
+  CountingObserver counter;
+  net.add_observer(&counter);
+  EXPECT_EQ(counter.attached, 1);
+
+  auto atk = attack::make_attack("neighborofmax", 1);
+  RunOptions opts;
+  opts.max_deletions = 10;
+  net.run(*atk, opts);
+
+  EXPECT_EQ(counter.begins, 10);
+  EXPECT_EQ(counter.heals, 10);
+  EXPECT_EQ(counter.ends, 10);
+  EXPECT_EQ(counter.finishes, 1);
+  EXPECT_EQ(counter.last_begin_round, 10u);
+  EXPECT_EQ(counter.last_end_round, 10u);
+}
+
+TEST(ObserverPipeline, JoinAndBatchEventsFire) {
+  Rng rng(2);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  Network net(std::move(g), core::make_strategy("dash"), rng);
+  CountingObserver counter;
+  net.add_observer(&counter);
+
+  net.join({0, 5});
+  EXPECT_EQ(counter.joins, 1);
+
+  net.remove_batch({1, 2});
+  // A batch round fires begin/end but no single-heal event, and both
+  // callbacks carry the same round id (two deletions in the round).
+  EXPECT_EQ(counter.begins, 1);
+  EXPECT_EQ(counter.ends, 1);
+  EXPECT_EQ(counter.heals, 0);
+  EXPECT_EQ(counter.last_begin_round, 2u);
+  EXPECT_EQ(counter.last_end_round, 2u);
+}
+
+TEST(ObserverPipeline, OwnedObserverSurvivesAndIsReachable) {
+  auto net = make_net(24, 3);
+  auto& inv = static_cast<InvariantObserver&>(
+      net.add_observer(std::make_unique<InvariantObserver>()));
+  auto atk = attack::make_attack("maxnode", 3);
+  net.run(*atk);
+  EXPECT_TRUE(inv.ok()) << inv.violation();
+}
+
+TEST(InvariantObserver, CleanRunReportsNoViolation) {
+  auto net = make_net(48, 4);
+  InvariantObserver inv;
+  net.add_observer(&inv);
+  auto atk = attack::make_attack("neighborofmax", 4);
+  const Metrics m = net.run(*atk);
+  EXPECT_TRUE(m.violation.empty()) << m.violation;
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(InvariantObserver, SurfacesViolationForBadBound) {
+  // GraphHeal with the DASH-only delta bound enabled blows past
+  // 2 log2 n on a long NMS schedule at this size/seed; the observer
+  // must surface the violation rather than crash (same workload the
+  // old run_schedule flag test used).
+  auto net = make_net(512, 5, "graph");
+  InvariantOptions opts;
+  opts.check_delta_bound = true;
+  InvariantObserver inv(opts);
+  net.add_observer(&inv);
+  auto atk = attack::make_attack("neighborofmax", 5);
+  const Metrics m = net.run(*atk);
+  EXPECT_FALSE(m.violation.empty());
+  EXPECT_FALSE(inv.ok());
+  EXPECT_EQ(m.violation, inv.violation());
+}
+
+TEST(InvariantObserver, RemBoundHoldsForDash) {
+  auto net = make_net(64, 6);
+  InvariantOptions opts;
+  opts.check_rem_bound = true;
+  opts.check_delta_bound = true;
+  InvariantObserver inv(opts);
+  net.add_observer(&inv);
+  auto atk = attack::make_attack("neighborofmax", 6);
+  const Metrics m = net.run(*atk);
+  EXPECT_TRUE(m.violation.empty()) << m.violation;
+}
+
+TEST(StretchObserver, TracksStretchDuringRun) {
+  auto net = make_net(32, 7);
+  StretchObserver stretch;
+  net.add_observer(&stretch);
+  auto atk = attack::make_attack("neighborofmax", 7);
+  RunOptions opts;
+  opts.max_deletions = 8;
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_GE(m.max_stretch, 1.0);
+  EXPECT_EQ(m.max_stretch, stretch.max_stretch());
+}
+
+TEST(StretchObserver, ZeroSampleEveryIsClampedToOne) {
+  // Regression: the old schedule runner computed
+  // `deletions % stretch_sample_every` and crashed with SIGFPE when the
+  // interval was 0; the observer clamps it to "sample every round".
+  auto net = make_net(16, 8);
+  StretchObserver stretch(0);
+  net.add_observer(&stretch);
+  auto atk = attack::make_attack("maxnode", 8);
+  RunOptions opts;
+  opts.max_deletions = 4;
+  const Metrics m = net.run(*atk, opts);
+  EXPECT_GE(m.max_stretch, 1.0);
+  EXPECT_TRUE(stretch.sampled_last_round());
+}
+
+TEST(StretchObserver, JoinFreezesSamplingInsteadOfAborting) {
+  // Regression: stretch is measured against the frozen time-0 distance
+  // matrix; a join grows the node-id space, and sampling afterwards
+  // used to trip StretchTracker's size check and abort the process.
+  Rng rng(12);
+  Graph g = graph::barabasi_albert(16, 2, rng);
+  Network net(std::move(g), core::make_strategy("dash"), rng);
+  StretchObserver stretch;
+  net.add_observer(&stretch);
+
+  net.remove(net.graph().alive_nodes().back());
+  const double before = stretch.max_stretch();
+  EXPECT_GE(before, 1.0);
+  EXPECT_TRUE(stretch.active());
+
+  net.join({0, 1});
+  EXPECT_FALSE(stretch.active());
+  net.remove(net.graph().alive_nodes().back());  // must not abort
+  EXPECT_FALSE(stretch.sampled_last_round());
+  EXPECT_EQ(stretch.max_stretch(), before);  // pre-join maximum kept
+}
+
+TEST(RecorderObserver, BatchRoundRowReportsBatchEdges) {
+  Rng rng(13);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  Network net(std::move(g), core::make_strategy("dash"), rng);
+  analysis::Recorder rec;
+  net.add_observer(std::make_unique<RecorderObserver>(rec));
+
+  const auto actions = net.remove_batch({0, 1, 2});
+  std::size_t batch_edges = 0;
+  for (const auto& a : actions) batch_edges += a.new_graph_edges.size();
+  ASSERT_GT(batch_edges, 0u);  // deleting the BA core forces healing
+
+  ASSERT_EQ(rec.rows().size(), 1u);
+  EXPECT_EQ(rec.rows()[0].round, 3u);  // one row covering 3 deletions
+  EXPECT_EQ(rec.rows()[0].deleted_node, 0u);
+  EXPECT_EQ(rec.rows()[0].edges_added, batch_edges);
+  EXPECT_EQ(rec.rows()[0].alive, 29u);
+}
+
+TEST(StretchObserver, SamplesOnlyOnSchedule) {
+  auto net = make_net(24, 9);
+  StretchObserver stretch(1000);  // never due at these round counts
+  net.add_observer(&stretch);
+  auto atk = attack::make_attack("maxnode", 9);
+  RunOptions opts;
+  opts.max_deletions = 5;
+  net.run(*atk, opts);
+  EXPECT_EQ(stretch.max_stretch(), 0.0);
+  EXPECT_FALSE(stretch.sampled_last_round());
+}
+
+TEST(RecorderObserver, CapturesEveryRound) {
+  auto net = make_net(64, 10);
+  analysis::Recorder rec;
+  RecorderObserver recorder(rec);
+  net.add_observer(&recorder);
+  auto atk = attack::make_attack("neighborofmax", 10);
+  RunOptions opts;
+  opts.max_deletions = 15;
+  const Metrics m = net.run(*atk, opts);
+
+  ASSERT_EQ(rec.rows().size(), m.deletions);
+  // Rounds are 1-based and alive counts strictly decrease.
+  for (std::size_t i = 0; i < rec.rows().size(); ++i) {
+    EXPECT_EQ(rec.rows()[i].round, i + 1);
+    EXPECT_EQ(rec.rows()[i].alive, 64 - (i + 1));
+    EXPECT_EQ(rec.rows()[i].largest_component, 64 - (i + 1));
+  }
+}
+
+TEST(RecorderObserver, LogsStretchSamplesFromUpstreamObserver) {
+  auto net = make_net(32, 11);
+  // Producer before consumer: stretch samples land in the time series.
+  auto& stretch = static_cast<StretchObserver&>(
+      net.add_observer(std::make_unique<StretchObserver>(2)));
+  analysis::Recorder rec;
+  net.add_observer(std::make_unique<RecorderObserver>(rec, &stretch));
+  auto atk = attack::make_attack("neighborofmax", 11);
+  RunOptions opts;
+  opts.max_deletions = 6;
+  net.run(*atk, opts);
+
+  ASSERT_EQ(rec.rows().size(), 6u);
+  for (const auto& row : rec.rows()) {
+    if (row.round % 2 == 0) {
+      EXPECT_TRUE(row.stretch_sampled) << "round " << row.round;
+      EXPECT_GE(row.stretch, 1.0);
+    } else {
+      EXPECT_FALSE(row.stretch_sampled) << "round " << row.round;
+    }
+  }
+}
+
+TEST(SuiteConfigure, PerInstanceObserversContributeMetrics) {
+  SuiteConfig cfg;
+  cfg.make_graph = [](Rng& rng) {
+    return graph::barabasi_albert(24, 2, rng);
+  };
+  cfg.make_attacker = attacker_factory("maxnode");
+  cfg.make_healer = healer_factory("dash");
+  cfg.instances = 3;
+  cfg.run.max_deletions = 8;
+  cfg.configure = [](Network& net) {
+    net.add_observer(std::make_unique<StretchObserver>());
+  };
+  const auto results = run_suite(cfg, nullptr);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_GE(r.max_stretch, 1.0);
+}
+
+}  // namespace
+}  // namespace dash::api

@@ -111,6 +111,27 @@ TEST(Factory, AliasesAndUnknown) {
   EXPECT_THROW(make_attack("nope", 1), std::invalid_argument);
 }
 
+TEST(Factory, UnknownNameErrorListsRegisteredAttacks) {
+  try {
+    make_attack("nope", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'nope'"), std::string::npos) << msg;
+    for (const char* expected : {"maxnode", "neighborofmax", "random",
+                                 "minnode", "maxdelta"}) {
+      EXPECT_NE(msg.find(expected), std::string::npos)
+          << "missing '" << expected << "' in: " << msg;
+    }
+  }
+}
+
+TEST(Factory, RegistryServesLookups) {
+  EXPECT_TRUE(attack_registry().contains("maxnode"));
+  EXPECT_TRUE(attack_registry().contains("nms"));
+  EXPECT_FALSE(attack_registry().contains("levelattack"));
+}
+
 TEST(Clone, PreservesName) {
   NeighborOfMaxAttack atk(3);
   EXPECT_EQ(atk.clone()->name(), atk.name());

@@ -54,11 +54,10 @@ TEST(GraphHeal, DoesNotTrackComponentsAndMayCycle) {
 TEST(GraphHeal, FullScheduleStaysConnected) {
   Rng rng(3);
   Graph g = graph::barabasi_albert(96, 2, rng);
-  HealingState st(g, rng);
-  GraphHealStrategy heal;
+  // No invariant observer: the forest check is not applicable here.
+  api::Network net(std::move(g), make_strategy("graph"), rng);
   auto attacker = attack::make_attack("neighborofmax", 4);
-  analysis::ScheduleConfig cfg;  // forest check not applicable
-  const auto result = analysis::run_schedule(g, st, *attacker, heal, cfg);
+  const auto result = net.run(*attacker);
   EXPECT_TRUE(result.stayed_connected);
   EXPECT_EQ(result.deletions, 95u);
 }
@@ -126,13 +125,11 @@ TEST(NoHeal, NeverAddsEdges) {
 
 TEST(NoHeal, ScheduleReportsDisconnection) {
   Rng rng(9);
-  Graph g = graph::star_graph(20);
-  HealingState st(g, rng);
-  NoHealStrategy heal;
+  api::Network net(graph::star_graph(20), make_strategy("none"), rng);
   auto attacker = attack::make_attack("maxnode", 10);
-  analysis::ScheduleConfig cfg;
-  cfg.stop_when_disconnected = true;
-  const auto result = analysis::run_schedule(g, st, *attacker, heal, cfg);
+  api::RunOptions opts;
+  opts.stop_when_disconnected = true;
+  const auto result = net.run(*attacker, opts);
   EXPECT_FALSE(result.stayed_connected);
   EXPECT_EQ(result.deletions, 1u);  // hub deletion shatters the star
 }

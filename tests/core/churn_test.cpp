@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "analysis/invariants.h"
+#include "api/api.h"
 #include "attack/basic.h"
 #include "core/dash.h"
 #include "core/healing_state.h"
@@ -122,6 +124,76 @@ TEST(Churn, StateGraphMismatchAborts) {
   HealingState st(g, rng);
   g.add_node();  // graph grew behind the state's back
   EXPECT_DEATH(st.join_node(g, {}), "out of sync");
+}
+
+// ---- churn through the engine + observer pipeline --------------------
+
+TEST(Churn, NetworkJoinInterleavedKeepsInvariants) {
+  // The same mixed join/attack/heal workload as above, driven through
+  // api::Network with the invariant battery plugged in as an observer:
+  // connectivity, delta accounting, and the forest invariant must hold
+  // after every event (the battery re-runs on joins too).
+  Rng rng(5);
+  graph::Graph g = graph::barabasi_albert(48, 2, rng);
+  api::Network net(std::move(g), make_strategy("dash"), rng);
+  api::InvariantObserver inv;
+  net.add_observer(&inv);
+
+  attack::NeighborOfMaxAttack atk(7);
+  Rng churn(11);
+  std::size_t joins = 0;
+  for (int round = 0; round < 120; ++round) {
+    if (churn.chance(0.3) || net.graph().num_alive() < 8) {
+      auto alive = net.graph().alive_nodes();
+      churn.shuffle(alive);
+      std::vector<NodeId> targets(
+          alive.begin(),
+          alive.begin() + std::min<std::size_t>(2, alive.size()));
+      net.join(targets);
+      ++joins;
+    } else {
+      const NodeId v = atk.select(net.graph(), net.state());
+      net.remove(v);
+    }
+    ASSERT_TRUE(inv.ok()) << "round " << round << ": " << inv.violation();
+    ASSERT_TRUE(net.stayed_connected()) << "round " << round;
+    ASSERT_TRUE(net.state().healing_graph_is_forest(net.graph()));
+  }
+
+  const api::Metrics m = net.finish();
+  EXPECT_TRUE(m.violation.empty()) << m.violation;
+  EXPECT_EQ(m.joins, joins);
+  EXPECT_EQ(m.joins + m.deletions, 120u);
+  EXPECT_TRUE(m.stayed_connected);
+}
+
+TEST(Churn, NetworkJoinedNodesParticipateInHealing) {
+  Rng rng(6);
+  api::Network net(graph::star_graph(4), make_strategy("dash"), rng);
+  const NodeId newcomer = net.join({0});  // joins at the hub
+  net.remove(0);                          // hub deleted, DASH heals
+  EXPECT_TRUE(graph::is_connected(net.graph()));
+  EXPECT_GE(net.graph().degree(newcomer), 1u);
+  EXPECT_EQ(net.metrics().joins, 1u);
+}
+
+TEST(Churn, NetworkJoinThenBatchDeletionKeepsInvariants) {
+  Rng rng(7);
+  graph::Graph g = graph::barabasi_albert(32, 2, rng);
+  api::Network net(std::move(g), make_strategy("dash"), rng);
+  api::InvariantObserver inv;
+  net.add_observer(&inv);
+
+  const NodeId a = net.join({0, 1});
+  const NodeId b = net.join({a, 2});
+  net.remove_batch({0, 1});  // adjacent core nodes, deleted together
+  EXPECT_TRUE(inv.ok()) << inv.violation();
+  EXPECT_TRUE(graph::is_connected(net.graph()));
+  EXPECT_TRUE(net.graph().alive(a));
+  EXPECT_TRUE(net.graph().alive(b));
+  const api::Metrics m = net.finish();
+  EXPECT_EQ(m.joins, 2u);
+  EXPECT_EQ(m.deletions, 2u);
 }
 
 TEST(Churn, CheckpointPreservesJoinState) {

@@ -34,6 +34,56 @@ TEST(Factory, UnknownNameThrows) {
   EXPECT_THROW(make_strategy(""), std::invalid_argument);
 }
 
+TEST(Factory, UnknownNameErrorListsRegisteredStrategies) {
+  try {
+    make_strategy("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+    for (const char* expected : {"dash", "sdash", "graph", "binarytree",
+                                 "line", "none", "capped:<M>", "btree",
+                                 "graphheal", "noheal"}) {
+      EXPECT_NE(msg.find(expected), std::string::npos)
+          << "missing '" << expected << "' in: " << msg;
+    }
+  }
+}
+
+TEST(Factory, BadParameterThrows) {
+  EXPECT_THROW(make_strategy("capped:"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("capped:abc"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("sdash:x"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("dash:3"), std::invalid_argument);
+  // A trailing colon is a malformed spec, not an implicit default
+  // (a dropped slack value must not silently run slack 0).
+  EXPECT_THROW(make_strategy("sdash:"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("dash:"), std::invalid_argument);
+  // Out-of-range values must not wrap at the uint32 cast: -1 and
+  // 2^32+2 would otherwise both silently become small caps.
+  EXPECT_THROW(make_strategy("capped:-1"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("capped:4294967298"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("sdash:4294967296"), std::invalid_argument);
+}
+
+TEST(Factory, RegistryServesLookupsAndAcceptsNewEntries) {
+  // make_strategy is a forwarder over the single registry instance.
+  EXPECT_TRUE(healer_registry().contains("dash"));
+  EXPECT_TRUE(healer_registry().contains("capped:2"));
+  EXPECT_FALSE(healer_registry().contains("custom-test-healer"));
+
+  healer_registry().add(
+      "custom-test-healer",
+      [](const std::string&) { return make_strategy("dash"); });
+  EXPECT_EQ(make_strategy("custom-test-healer")->name(), "DASH");
+  // Re-registering the same name is a programming error.
+  EXPECT_THROW(healer_registry().add("custom-test-healer",
+                                     [](const std::string&) {
+                                       return make_strategy("dash");
+                                     }),
+               std::logic_error);
+}
+
 TEST(Factory, PaperStrategySetIsComplete) {
   const auto strategies = paper_strategies();
   ASSERT_EQ(strategies.size(), 5u);

@@ -134,11 +134,9 @@ TEST(SdashSlack, FullScheduleStaysConnectedAndBounded) {
   // heal; over a schedule the degree stays modest.
   Rng rng(21);
   Graph g = graph::barabasi_albert(128, 2, rng);
-  HealingState st(g, rng);
-  SdashStrategy loose(4);
+  api::Network net(std::move(g), make_strategy("sdash:4"), rng);
   auto atk = attack::make_attack("maxnode", 22);
-  analysis::ScheduleConfig cfg;
-  const auto r = analysis::run_schedule(g, st, *atk, loose, cfg);
+  const auto r = net.run(*atk);
   EXPECT_TRUE(r.stayed_connected);
   EXPECT_LE(r.max_delta, static_cast<std::uint32_t>(
                              2.0 * std::log2(128.0)) + 4);

@@ -5,10 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "analysis/experiment.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -49,13 +49,12 @@ TEST_P(HealAttackMatrix, ConnectivityAndLocalityHoldToExhaustion) {
   const auto& p = GetParam();
   Rng rng(0xABCDEF);
   Graph g = make_family(p.family, rng);
-  HealingState st(g, rng);
+  api::Network net(std::move(g), core::make_strategy(p.healer), rng);
   auto attacker = attack::make_attack(p.attack, 2024);
-  auto healer = core::make_strategy(p.healer);
 
-  analysis::ScheduleConfig cfg;
-  cfg.check_invariants = true;  // locality + forest + id consistency
-  const auto r = analysis::run_schedule(g, st, *attacker, *healer, cfg);
+  // Locality + forest + id consistency after every round.
+  net.add_observer(std::make_unique<api::InvariantObserver>());
+  const auto r = net.run(*attacker);
   EXPECT_TRUE(r.violation.empty()) << r.violation;
   EXPECT_TRUE(r.stayed_connected);
   EXPECT_EQ(r.deletions, 71u);  // ran to a single survivor
@@ -86,19 +85,16 @@ INSTANTIATE_TEST_SUITE_P(
 
 double mean_max_delta(const char* healer, std::size_t n,
                       std::size_t instances) {
-  analysis::InstanceConfig cfg;
+  api::SuiteConfig cfg;
   cfg.make_graph = [n](Rng& rng) {
     return graph::barabasi_albert(n, 2, rng);
   };
-  cfg.make_attack = [](std::uint64_t seed) {
-    return attack::make_attack("neighborofmax", seed);
-  };
-  const auto proto = core::make_strategy(healer);
-  cfg.healer = proto.get();
+  cfg.make_attacker = api::attacker_factory("neighborofmax");
+  cfg.make_healer = api::healer_factory(healer);
   cfg.instances = instances;
   cfg.base_seed = 0x5EED;
-  const auto results = analysis::run_instances(cfg, nullptr);
-  return analysis::summarize_metric(results, [](const auto& r) {
+  const auto results = api::run_suite(cfg, nullptr);
+  return api::summarize_metric(results, [](const auto& r) {
     return static_cast<double>(r.max_delta);
   }).mean;
 }

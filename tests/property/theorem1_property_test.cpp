@@ -51,14 +51,14 @@ TEST_P(Theorem1Sweep, AllBoundsHoldOverFullDeletion) {
   Graph g = make_family(p.family, p.n, rng);
   const std::size_t n = g.num_nodes();
 
-  HealingState st(g, rng);
+  api::Network net(std::move(g), core::make_strategy("dash"), rng);
   auto attacker = attack::make_attack(p.attack, p.seed * 31 + 7);
-  auto healer = core::make_strategy("dash");
 
-  analysis::ScheduleConfig cfg;
-  cfg.check_invariants = true;
-  cfg.check_delta_bound = true;
-  const auto r = analysis::run_schedule(g, st, *attacker, *healer, cfg);
+  api::InvariantOptions inv_opts;
+  inv_opts.check_delta_bound = true;
+  net.add_observer(std::make_unique<api::InvariantObserver>(inv_opts));
+  const auto r = net.run(*attacker);
+  const auto& st = net.state();
 
   // Bullet 1: connectivity through the whole schedule + degree bound.
   EXPECT_TRUE(r.stayed_connected);

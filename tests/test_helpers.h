@@ -1,15 +1,14 @@
 // test_helpers.h -- shared machinery for schedule-level tests: run an
-// attack/heal loop with the full invariant battery enabled and return
-// the result, failing loudly on any violation.
+// attack/heal schedule on the api::Network engine with the full
+// invariant battery plugged in, failing loudly on any violation.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
-#include "analysis/experiment.h"
-#include "attack/factory.h"
-#include "core/factory.h"
+#include "api/api.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -21,26 +20,28 @@ struct RunSpec {
   std::uint64_t seed = 12345;
   bool check_rem = false;   // DASH-only Lemma 4 bound
   bool track_stretch = false;
-  std::size_t max_deletions = static_cast<std::size_t>(-1);
+  std::size_t max_deletions = std::numeric_limits<std::size_t>::max();
 };
 
-/// Run a full schedule on `g` with invariants on; EXPECT no violation
-/// and that the network stayed connected throughout.
-inline analysis::ScheduleResult run_checked(graph::Graph g,
-                                            const RunSpec& spec) {
+/// Run a full schedule on `g` with the invariant observer attached;
+/// EXPECT no violation and that the network stayed connected.
+inline api::Metrics run_checked(graph::Graph g, const RunSpec& spec) {
   dash::util::Rng rng(spec.seed);
-  core::HealingState state(g, rng);
+  api::Network net(std::move(g), core::make_strategy(spec.healer), rng);
+
+  api::InvariantOptions inv_opts;
+  inv_opts.check_rem_bound = spec.check_rem;
+  inv_opts.check_delta_bound = (spec.healer == "dash");  // Theorem 1 is DASH's
+  net.add_observer(std::make_unique<api::InvariantObserver>(inv_opts));
+  if (spec.track_stretch) {
+    net.add_observer(std::make_unique<api::StretchObserver>());
+  }
+
   auto attacker = attack::make_attack(spec.attack, spec.seed);
-  auto healer = core::make_strategy(spec.healer);
+  api::RunOptions opts;
+  opts.max_deletions = spec.max_deletions;
+  const api::Metrics result = net.run(*attacker, opts);
 
-  analysis::ScheduleConfig cfg;
-  cfg.check_invariants = true;
-  cfg.check_rem_bound = spec.check_rem;
-  cfg.check_delta_bound = (spec.healer == "dash");  // Theorem 1 is DASH's
-  cfg.track_stretch = spec.track_stretch;
-  cfg.max_deletions = spec.max_deletions;
-
-  auto result = analysis::run_schedule(g, state, *attacker, *healer, cfg);
   EXPECT_TRUE(result.violation.empty()) << result.violation;
   EXPECT_TRUE(result.stayed_connected)
       << spec.healer << " lost connectivity under " << spec.attack;
