@@ -28,31 +28,32 @@ int main(int argc, char** argv) {
                                        "DASH"};
   const std::vector<std::string> keys{"graph", "binarytree", "dash"};
 
-  const dash::api::RunOptions run;
+  // One suite per cell; both metrics summarize the same runs.
+  const auto scenario = dash::api::Scenario().targeted(fo.attack);
+  dash::bench::JsonOutput json(fo.json_path);
   std::vector<dash::bench::SeriesPoint> points;
   std::vector<dash::bench::SeriesPoint> edge_points;
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto results = dash::bench::run_cell_results(
+          fo, n, keys[i], scenario, &pool, nullptr, json.get(), names[i]);
+
       dash::bench::SeriesPoint p;
       p.n = n;
       p.strategy = names[i];
-      p.summary = dash::bench::run_cell(
-          fo, n, keys[i], run,
-          [](const Metrics& r) {
+      p.summary = dash::api::summarize_metric(
+          results, [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
-          },
-          &pool);
+          });
       points.push_back(p);
 
       dash::bench::SeriesPoint e;
       e.n = n;
       e.strategy = names[i];
-      e.summary = dash::bench::run_cell(
-          fo, n, keys[i], run,
-          [](const Metrics& r) {
+      e.summary = dash::api::summarize_metric(
+          results, [](const Metrics& r) {
             return static_cast<double>(r.edges_added);
-          },
-          &pool);
+          });
       edge_points.push_back(e);
     }
     std::fprintf(stderr, "  done n=%zu\n", n);

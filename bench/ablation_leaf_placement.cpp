@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
                                        "id-ordered(BinaryTreeHeal)"};
   const std::vector<std::string> keys{"dash", "binarytree"};
 
-  const dash::api::RunOptions run;
+  const auto scenario = dash::api::Scenario().targeted(fo.attack);
+  dash::bench::JsonOutput json(fo.json_path);
   std::vector<dash::bench::SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -34,11 +35,11 @@ int main(int argc, char** argv) {
       p.n = n;
       p.strategy = names[i];
       p.summary = dash::bench::run_cell(
-          fo, n, keys[i], run,
+          fo, n, keys[i], scenario,
           [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
           },
-          &pool);
+          &pool, nullptr, json.get(), names[i]);
       points.push_back(p);
     }
     std::fprintf(stderr, "  done n=%zu\n", n);

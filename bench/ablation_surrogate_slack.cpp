@@ -41,29 +41,31 @@ int main(int argc, char** argv) {
     net.add_observer(std::make_unique<dash::api::StretchObserver>(4));
   };
 
+  dash::bench::JsonOutput json(fo.json_path);
   std::vector<dash::bench::SeriesPoint> stretch_points, delta_points;
   for (std::size_t n : fo.sizes()) {
-    dash::api::RunOptions run;
-    run.max_deletions = n / 2;
+    const auto scenario =
+        dash::api::Scenario().targeted(fo.attack, n / 2);
     for (std::size_t i = 0; i < keys.size(); ++i) {
+      // One suite per cell; both metrics summarize the same runs.
+      const auto results = dash::bench::run_cell_results(
+          fo, n, keys[i], scenario, &pool, track_stretch, json.get(),
+          names[i]);
+
       dash::bench::SeriesPoint sp;
       sp.n = n;
       sp.strategy = names[i];
-      sp.summary = dash::bench::run_cell(
-          fo, n, keys[i], run,
-          [](const Metrics& r) { return r.max_stretch; }, &pool,
-          track_stretch);
+      sp.summary = dash::api::summarize_metric(
+          results, [](const Metrics& r) { return r.max_stretch; });
       stretch_points.push_back(sp);
 
       dash::bench::SeriesPoint dp;
       dp.n = n;
       dp.strategy = names[i];
-      dp.summary = dash::bench::run_cell(
-          fo, n, keys[i], run,
-          [](const Metrics& r) {
+      dp.summary = dash::api::summarize_metric(
+          results, [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
-          },
-          &pool, track_stretch);
+          });
       delta_points.push_back(dp);
     }
     std::fprintf(stderr, "  done n=%zu\n", n);

@@ -3,7 +3,8 @@
 // NoN graph stays connected). We sweep the batch size k and report the
 // resulting max degree increase and connectivity, including adversarial
 // batches (the k highest-degree nodes at once -- a coordinated strike
-// on the hubs).
+// on the hubs). Each run is the one-phase scenario "batch:<k>,<mode>":
+// batch strikes until fewer than k+1 nodes survive.
 #include <cmath>
 #include <iostream>
 
@@ -16,7 +17,6 @@
 namespace {
 
 using dash::graph::Graph;
-using dash::graph::NodeId;
 
 struct Outcome {
   bool connected = true;
@@ -24,43 +24,45 @@ struct Outcome {
   std::size_t rounds = 0;
 };
 
-/// Delete batches of size k until fewer than k+1 nodes remain.
-/// mode "hubs": the k current highest-degree nodes per round;
-/// mode "random": k uniform alive nodes per round.
+/// Watches every batch round's (lazy) connectivity answer so a mid-run
+/// shatter is caught even if later rounds shrink the graph back to a
+/// trivially connected remnant.
+class ConnectivityProbe final : public dash::api::Observer {
+ public:
+  std::string name() const override { return "connectivity-probe"; }
+  void on_round_end(const dash::api::Network&,
+                    const dash::api::RoundEvent& ev) override {
+    ++rounds;
+    if (ok && !ev.connected()) ok = false;
+  }
+
+  std::size_t rounds = 0;
+  bool ok = true;
+};
+
 Outcome run(std::size_t n, std::size_t k, const std::string& mode,
             std::uint64_t seed) {
   dash::util::Rng rng(seed);
   Graph g = dash::graph::barabasi_albert(n, 2, rng);
   dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
                          rng);
-  dash::util::Rng pick(seed * 31 + 1);
+  ConnectivityProbe probe;
+  net.add_observer(&probe);
+
+  const auto scenario = dash::api::Scenario::parse(
+      "batch:" + std::to_string(k) + "," + mode);
+  // Stop at the first disconnection so a shattering (k, mode) cell
+  // reports rounds-until-shatter, not post-shatter behavior.
+  dash::api::PlayOptions opts;
+  opts.stop_condition = [&probe](const dash::api::Network&) {
+    return !probe.ok;
+  };
+  const auto metrics = net.play(scenario, rng, opts);
 
   Outcome out;
-  while (net.graph().num_alive() > k) {
-    std::vector<NodeId> batch;
-    if (mode == "hubs") {
-      auto alive = net.graph().alive_nodes();
-      const auto& cur = net.graph();
-      std::sort(alive.begin(), alive.end(), [&cur](NodeId a, NodeId b) {
-        if (cur.degree(a) != cur.degree(b)) {
-          return cur.degree(a) > cur.degree(b);
-        }
-        return a < b;
-      });
-      batch.assign(alive.begin(), alive.begin() + k);
-    } else {
-      auto alive = net.graph().alive_nodes();
-      pick.shuffle(alive);
-      batch.assign(alive.begin(), alive.begin() + k);
-    }
-    net.remove_batch(batch);
-    ++out.rounds;
-    if (!net.stayed_connected()) {
-      out.connected = false;
-      break;
-    }
-  }
-  out.max_delta = net.metrics().max_delta;
+  out.connected = probe.ok && metrics.stayed_connected;
+  out.rounds = probe.rounds;
+  out.max_delta = metrics.max_delta;
   return out;
 }
 

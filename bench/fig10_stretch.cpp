@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     opt.add_uint("ba-edges", &fo.ba_edges, "BA attachment edges");
     opt.add_string("attack", &fo.attack, "attack strategy");
     opt.add_string("csv", &fo.csv_path, "optional CSV output path");
+    opt.add_string("json", &fo.json_path, "optional JSON summary path");
     opt.add_uint("threads", &fo.threads, "worker threads");
     opt.add_uint("sample-every", &sample_every,
                  "sample stretch every k-th deletion");
@@ -54,18 +55,20 @@ int main(int argc, char** argv) {
     net.add_observer(std::make_unique<dash::api::StretchObserver>(every));
   };
 
+  dash::bench::JsonOutput json(fo.json_path);
   std::vector<dash::bench::SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
-    dash::api::RunOptions run;
-    run.max_deletions = n / 2;  // half the nodes, as degree stays sane
+    // Delete half the nodes (degree stays sane at that depth).
+    const auto scenario =
+        dash::api::Scenario().targeted(fo.attack, n / 2);
     for (std::size_t i = 0; i < specs.size(); ++i) {
       dash::bench::SeriesPoint p;
       p.n = n;
       p.strategy = names[i];
       p.summary = dash::bench::run_cell(
-          fo, n, specs[i], run,
+          fo, n, specs[i], scenario,
           [](const Metrics& r) { return r.max_stretch; }, &pool,
-          track_stretch);
+          track_stretch, json.get(), names[i]);
       points.push_back(std::move(p));
       std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
                    names[i].c_str());

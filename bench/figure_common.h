@@ -7,6 +7,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,8 @@ struct FigureOptions {
   std::uint64_t max_n = 1024;
   std::uint64_t ba_edges = 2;  ///< BA attachment edges per node
   std::string attack = "neighborofmax";
-  std::string csv_path;  ///< optional CSV dump
+  std::string csv_path;   ///< optional CSV dump
+  std::string json_path;  ///< optional BENCH_*.json summary dump
   std::uint64_t threads = 0;
   bool help = false;  ///< set when --help was given
 
@@ -44,6 +46,8 @@ struct FigureOptions {
     opt.add_uint("ba-edges", &ba_edges, "BA attachment edges per node");
     opt.add_string("attack", &attack, "attack strategy");
     opt.add_string("csv", &csv_path, "optional path for CSV output");
+    opt.add_string("json", &json_path,
+                   "optional path for a BENCH_*.json metric summary");
     opt.add_uint("threads", &threads,
                  "worker threads (0 = hardware concurrency)");
     const bool ok = opt.parse(argc, argv);
@@ -70,26 +74,49 @@ struct SeriesPoint {
 };
 
 /// Run the Sec. 4.1 methodology for one (n, strategy) cell on the
-/// engine. `configure` registers per-instance observers (stretch
-/// tracking and the like); pass nullptr when none are needed.
-inline dash::util::Summary run_cell(
+/// engine -- every instance plays `scenario` -- and return the
+/// per-instance metrics. `configure` registers per-instance observers
+/// (stretch tracking and the like); pass nullptr when none are needed.
+/// When `json` is given, the cell's metrics land in a freshly begun
+/// labelled group.
+inline std::vector<api::Metrics> run_cell_results(
     const FigureOptions& fo, std::size_t n, const std::string& healer_spec,
-    const api::RunOptions& run, const MetricFn& metric,
-    dash::util::ThreadPool* pool,
-    const std::function<void(api::Network&)>& configure = nullptr) {
+    const api::Scenario& scenario, dash::util::ThreadPool* pool,
+    const std::function<void(api::Network&)>& configure = nullptr,
+    api::JsonSummarySink* json = nullptr,
+    const std::string& strategy_label = "") {
   api::SuiteConfig cfg;
   const std::size_t ba_m = static_cast<std::size_t>(fo.ba_edges);
   cfg.make_graph = [n, ba_m](dash::util::Rng& rng) {
     return graph::barabasi_albert(n, ba_m, rng);
   };
-  cfg.make_attacker = api::attacker_factory(fo.attack);
   cfg.make_healer = api::healer_factory(healer_spec);
+  cfg.scenario = scenario;
   cfg.configure = configure;
   cfg.instances = static_cast<std::size_t>(fo.instances);
   cfg.base_seed = fo.seed ^ (n * 0x9E3779B97F4A7C15ULL);
-  cfg.run = run;
-  const auto results = api::run_suite(cfg, pool);
-  return api::summarize_metric(results, metric);
+  if (json != nullptr) {
+    json->begin_group({{"n", std::to_string(n)},
+                       {"strategy", strategy_label.empty() ? healer_spec
+                                                           : strategy_label},
+                       {"scenario", scenario.spec()}});
+    cfg.sinks.push_back(json);
+  }
+  return api::run_suite(cfg, pool);
+}
+
+/// run_cell_results + one-metric summary, the common figure cell.
+inline dash::util::Summary run_cell(
+    const FigureOptions& fo, std::size_t n, const std::string& healer_spec,
+    const api::Scenario& scenario, const MetricFn& metric,
+    dash::util::ThreadPool* pool,
+    const std::function<void(api::Network&)>& configure = nullptr,
+    api::JsonSummarySink* json = nullptr,
+    const std::string& strategy_label = "") {
+  return api::summarize_metric(
+      run_cell_results(fo, n, healer_spec, scenario, pool, configure, json,
+                       strategy_label),
+      metric);
 }
 
 /// Print one figure: rows = sizes, one column per strategy (mean of the
@@ -158,8 +185,26 @@ inline void print_figure(
   }
 }
 
+/// Open the optional BENCH_*.json sink for a figure run; the document
+/// is written once, when the last suite has fed its group.
+struct JsonOutput {
+  std::ofstream stream;
+  std::optional<api::JsonSummarySink> sink;
+
+  explicit JsonOutput(const std::string& path) {
+    if (path.empty()) return;
+    stream.open(path);
+    sink.emplace(stream);
+  }
+  ~JsonOutput() {
+    if (sink) sink->flush();
+  }
+  api::JsonSummarySink* get() { return sink ? &*sink : nullptr; }
+};
+
 /// Full driver shared by Fig. 8 / 9(a) / 9(b): sweep sizes x the paper's
-/// five strategies and report `metric`.
+/// five strategies, each cell one declarative scenario suite, and
+/// report `metric`.
 inline int run_strategy_sweep_figure(int argc, char** argv,
                                      const std::string& title,
                                      const std::string& metric_name,
@@ -174,20 +219,27 @@ inline int run_strategy_sweep_figure(int argc, char** argv,
     names.push_back(core::make_strategy(spec)->name());
   }
 
-  const api::RunOptions run;  // full deletion, no observers
+  // The paper's schedule: the adversary deletes until the graph is
+  // gone, no observers.
+  const api::Scenario scenario = api::Scenario().targeted(fo.attack);
+  JsonOutput json(fo.json_path);
   std::vector<SeriesPoint> points;
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       SeriesPoint p;
       p.n = n;
       p.strategy = names[i];
-      p.summary = run_cell(fo, n, specs[i], run, metric, &pool);
+      p.summary = run_cell(fo, n, specs[i], scenario, metric, &pool,
+                           nullptr, json.get(), names[i]);
       points.push_back(std::move(p));
       std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
                    names[i].c_str());
     }
   }
   print_figure(title, fo, names, points, metric_name);
+  if (json.get() != nullptr) {
+    std::cout << "JSON summary written to " << fo.json_path << "\n";
+  }
   return 0;
 }
 

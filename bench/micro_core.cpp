@@ -90,20 +90,22 @@ void BM_DashHealStep(benchmark::State& state) {
 BENCHMARK(BM_DashHealStep)->Arg(64)->Arg(512);
 
 void BM_FullSchedule(benchmark::State& state) {
-  // Full engine loop (api::Network::run): attack selection, heal, and
-  // the per-round connectivity accounting, with no observers attached.
+  // Full engine loop via a declarative scenario: attack selection and
+  // heal, with no observers attached -- connectivity checks are lazy,
+  // so none run until the final finish() scan.
   const auto n = static_cast<std::size_t>(state.range(0));
   const char* names[] = {"dash", "sdash", "graph"};
   const char* healer_name = names[state.range(1)];
+  const auto scenario =
+      dash::api::Scenario().targeted("neighborofmax");
   for (auto _ : state) {
     state.PauseTiming();
     Rng rng(6);
     Graph g = dash::graph::barabasi_albert(n, 2, rng);
     dash::api::Network net(std::move(g),
                            dash::core::make_strategy(healer_name), rng);
-    auto attacker = dash::attack::make_attack("neighborofmax", 7);
     state.ResumeTiming();
-    const auto metrics = net.run(*attacker);
+    const auto metrics = net.play(scenario, 7);
     benchmark::DoNotOptimize(metrics.max_delta);
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -116,23 +118,23 @@ BENCHMARK(BM_FullSchedule)
     ->Args({1024, 0});
 
 void BM_ObserverPipelineOverhead(benchmark::State& state) {
-  // Same schedule with the recorder observer attached: what a pipeline
+  // Same schedule with a row-recording sink attached: what a pipeline
   // stage costs per deletion (dominated by the largest-component scan).
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto scenario =
+      dash::api::Scenario().targeted("neighborofmax");
   for (auto _ : state) {
     state.PauseTiming();
     Rng rng(6);
     Graph g = dash::graph::barabasi_albert(n, 2, rng);
     dash::api::Network net(std::move(g), dash::core::make_strategy("dash"),
                            rng);
-    dash::analysis::Recorder rec;
-    net.add_observer(
-        std::make_unique<dash::api::RecorderObserver>(rec));
-    auto attacker = dash::attack::make_attack("neighborofmax", 7);
+    dash::api::MemorySink rows;
+    net.add_observer(std::make_unique<dash::api::SinkObserver>(rows));
     state.ResumeTiming();
-    const auto metrics = net.run(*attacker);
+    const auto metrics = net.play(scenario, 7);
     benchmark::DoNotOptimize(metrics.deletions);
-    benchmark::DoNotOptimize(rec.rows().size());
+    benchmark::DoNotOptimize(rows.rows().size());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

@@ -40,9 +40,7 @@ int main(int argc, char** argv) {
       auto g = dash::graph::barabasi_albert(
           static_cast<std::size_t>(n), 2, rng);
       dash::sim::DistributedDashSim sim(std::move(g), rng);
-      while (sim.network().num_alive() > 1) {
-        sim.delete_and_heal(dash::graph::argmax_degree(sim.network()));
-      }
+      dash::sim::run_max_degree_attack(sim);
       const auto& m = sim.metrics();
       for (auto r : m.reconnect_rounds) {
         reconnect_max = std::max(reconnect_max, double(r));

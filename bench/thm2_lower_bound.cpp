@@ -36,11 +36,20 @@ Outcome run(std::size_t m, std::size_t depth, const std::string& healer,
   dash::util::Rng rng(seed);
   dash::api::Network net(std::move(g), dash::core::make_strategy(healer),
                          rng);
+
+  // LEVELATTACK is not registry-constructible (it needs the tree
+  // metadata), so the scenario borrows the caller-owned instance
+  // through a custom attacker factory.
   dash::attack::LevelAttack atk(tree, static_cast<std::uint32_t>(m));
+  const auto scenario = dash::api::Scenario().targeted(
+      [&atk](std::uint64_t) {
+        return std::make_unique<dash::attack::BorrowedAttack>(atk);
+      },
+      "levelattack");
 
   Outcome out;
   out.n = net.graph().num_nodes();
-  const auto metrics = net.run(atk);
+  const auto metrics = net.play(scenario, rng);
   DASH_CHECK(metrics.stayed_connected);
   out.deletions = metrics.deletions;
   out.max_delta = metrics.max_delta;

@@ -1,7 +1,10 @@
 // adversarial_tree.cpp -- walks through the Theorem 2 lower-bound
 // construction interactively: a complete (M+2)-ary tree attacked level
 // by level (LEVELATTACK) against an M-degree-bounded healer, printing
-// the forced degree increase as each level falls.
+// the forced degree increase as each level falls. The per-level
+// reporting is an Observer on the engine; the attack itself runs as a
+// declarative scenario with a custom attacker factory (LEVELATTACK
+// needs the tree metadata, so it is not registry-constructible).
 #include <cmath>
 #include <iostream>
 
@@ -11,6 +14,54 @@
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
+
+namespace {
+
+/// Emits one table row whenever the last planned node of a tree level
+/// falls, tracking the Lemma 13 floor level by level.
+class LevelWatch final : public dash::api::Observer {
+ public:
+  LevelWatch(const dash::graph::KaryTree& tree, std::size_t depth,
+             dash::util::Table& table)
+      : tree_(tree),
+        depth_(depth),
+        table_(table),
+        current_level_(tree.level.empty()
+                           ? 0
+                           : static_cast<std::uint32_t>(depth) - 1) {}
+
+  std::string name() const override { return "level-watch"; }
+
+  void on_round_end(const dash::api::Network& net,
+                    const dash::api::RoundEvent& ev) override {
+    const auto v = ev.victim;
+    const bool planned_level_node = tree_.level[v] <= current_level_ &&
+                                    !tree_.children[v].empty();
+    if (!planned_level_node || tree_.level[v] != current_level_) return;
+    // Report when the last internal node of the level falls.
+    for (dash::graph::NodeId u = 0; u < net.graph().num_nodes(); ++u) {
+      if (tree_.level[u] == current_level_ && net.graph().alive(u) &&
+          !tree_.children[u].empty()) {
+        return;  // level not done yet
+      }
+    }
+    table_.begin_row()
+        .cell(std::to_string(current_level_))
+        .cell(std::to_string(net.rounds()))
+        .cell(std::to_string(net.graph().num_alive()))
+        .cell(std::to_string(net.state().max_delta_ever()))
+        .cell(std::to_string(depth_ - current_level_));
+    if (current_level_ > 0) --current_level_;
+  }
+
+ private:
+  const dash::graph::KaryTree& tree_;
+  std::size_t depth_;
+  dash::util::Table& table_;
+  std::uint32_t current_level_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t m = 2, depth = 4, seed = 3;
@@ -34,41 +85,22 @@ int main(int argc, char** argv) {
   dash::api::Network net(
       std::move(g),
       dash::core::make_strategy("capped:" + std::to_string(m)), rng);
-  dash::attack::LevelAttack atk(tree, static_cast<std::uint32_t>(m));
 
   dash::util::Table table({"after_level", "deletions_so_far",
                            "alive", "max_forced_delta", "lemma13_floor"});
-  std::uint32_t current_level = tree.level.empty()
-                                    ? 0
-                                    : static_cast<std::uint32_t>(depth) - 1;
-  while (net.graph().num_alive() > 1) {
-    const auto v = atk.select(net.graph(), net.state());
-    if (v == dash::graph::kInvalidNode) break;
-    const bool planned_level_node = tree.level[v] <= current_level &&
-                                    tree.children[v].size() > 0;
-    net.remove(v);
-    // Report when the last node of a level falls.
-    if (planned_level_node && tree.level[v] == current_level) {
-      bool level_done = true;
-      for (dash::graph::NodeId u = 0; u < n; ++u) {
-        if (tree.level[u] == current_level && net.graph().alive(u) &&
-            !tree.children[u].empty()) {
-          level_done = false;
-          break;
-        }
-      }
-      if (level_done) {
-        table.begin_row()
-            .cell(std::to_string(current_level))
-            .cell(std::to_string(net.rounds()))
-            .cell(std::to_string(net.graph().num_alive()))
-            .cell(std::to_string(net.state().max_delta_ever()))
-            .cell(std::to_string(depth - current_level));
-        if (current_level == 0) break;
-        --current_level;
-      }
-    }
-  }
+  LevelWatch watch(tree, static_cast<std::size_t>(depth), table);
+  net.add_observer(&watch);
+
+  // LEVELATTACK stops on its own after the root falls; the scenario
+  // borrows the caller-owned attack so its statistics stay readable.
+  dash::attack::LevelAttack atk(tree, static_cast<std::uint32_t>(m));
+  const auto scenario = dash::api::Scenario().targeted(
+      [&atk](std::uint64_t) {
+        return std::make_unique<dash::attack::BorrowedAttack>(atk);
+      },
+      "levelattack");
+  net.play(scenario, rng);
+
   table.print(std::cout);
   std::cout << "\nLemma 13: after level i falls, some surviving original "
                "leaf carries delta >= D-i.\nTheorem 2: after the root "

@@ -37,25 +37,26 @@ int main(int argc, char** argv) {
   dash::util::Table table({"deletions", "alive", "last_prop_rounds",
                            "mean_prop_rounds", "total_messages",
                            "max_delta"});
-  std::size_t deletions = 0;
-  while (sim.network().num_alive() > 1) {
-    const auto hub = dash::graph::argmax_degree(sim.network());
-    sim.delete_and_heal(hub);
-    ++deletions;
-    if (deletions % report_every == 0 ||
-        sim.network().num_alive() <= 1) {
-      table.begin_row()
-          .cell(std::to_string(deletions))
-          .cell(std::to_string(sim.network().num_alive()))
-          .cell(std::to_string(sim.metrics().propagation_rounds.back()))
-          .cell(sim.metrics().mean_propagation_rounds(), 2)
-          .cell(std::to_string(sim.metrics().total_messages))
-          .cell(std::to_string(sim.max_delta()));
-    }
-    if (!dash::graph::is_connected(sim.network())) {
-      std::cerr << "FATAL: network disconnected!\n";
-      return 1;
-    }
+  bool disconnected = false;
+  dash::sim::run_max_degree_attack(
+      sim, static_cast<std::size_t>(-1), [&](std::size_t deletions) {
+        if (deletions % report_every == 0 ||
+            sim.network().num_alive() <= 1) {
+          table.begin_row()
+              .cell(std::to_string(deletions))
+              .cell(std::to_string(sim.network().num_alive()))
+              .cell(std::to_string(sim.metrics().propagation_rounds.back()))
+              .cell(sim.metrics().mean_propagation_rounds(), 2)
+              .cell(std::to_string(sim.metrics().total_messages))
+              .cell(std::to_string(sim.max_delta()));
+        }
+        // Fail fast: returning false aborts the schedule.
+        disconnected = !dash::graph::is_connected(sim.network());
+        return !disconnected;
+      });
+  if (disconnected) {
+    std::cerr << "FATAL: network disconnected!\n";
+    return 1;
   }
   table.print(std::cout);
 

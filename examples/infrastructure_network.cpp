@@ -6,10 +6,10 @@
 // routes short but overloads airports; DASH caps airport load but
 // lengthens routes; SDASH balances both. Stretch here reads as "how
 // many extra hops a passenger flies after re-routing".
+#include <algorithm>
 #include <iostream>
 
 #include "api/api.h"
-#include "attack/basic.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -46,14 +46,12 @@ Outcome run(const std::string& healer_name, std::size_t hubs,
   dash::api::Network net(make_route_map(hubs, spokes), healer_name, seed);
   auto& stretch = static_cast<dash::api::StretchObserver&>(
       net.add_observer(std::make_unique<dash::api::StretchObserver>()));
-  dash::attack::MaxNodeAttack atk;  // close the busiest airport first
 
-  dash::api::RunOptions opts;
-  opts.max_deletions = closures;
-  opts.stop_condition = [](const dash::api::Network& engine) {
-    return engine.graph().num_alive() <= 2;
-  };
-  const dash::api::Metrics m = net.run(atk, opts);
+  // Close the `closures` busiest airports, never going below 2: the
+  // whole workload as one declarative scenario.
+  const auto scenario =
+      dash::api::Scenario().floor(2).targeted("maxnode", closures);
+  const dash::api::Metrics m = net.play(scenario, seed);
 
   Outcome out;
   out.connected = m.stayed_connected;

@@ -3,14 +3,14 @@
 //
 // Scenario: a power-law overlay of peers where "supernodes" (hubs) are
 // protected but their neighbors get taken down (the NeighborOfMax
-// adversary), interleaved with random peer churn. We compare no healing
-// vs DASH healing, reporting connectivity of the overlay, the largest
-// component, and the burden placed on surviving peers.
-#include <algorithm>
+// adversary), interleaved with organic departures and new peers
+// joining. The whole workload is one declarative scenario spec --
+// five churn events per iteration: two targeted sabotages, one random
+// departure, one more sabotage, one join -- and we compare no healing
+// vs DASH healing on it.
 #include <iostream>
 
 #include "api/api.h"
-#include "attack/basic.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "util/cli.h"
@@ -20,10 +20,9 @@
 namespace {
 
 using dash::graph::Graph;
-using dash::graph::NodeId;
 
 struct ChurnOutcome {
-  std::size_t rounds = 0;
+  std::size_t deletions = 0;
   std::size_t joins = 0;
   std::size_t first_disconnect_round = 0;  ///< 0 = never disconnected
   std::size_t final_largest_component = 0;
@@ -32,14 +31,15 @@ struct ChurnOutcome {
 };
 
 /// Custom pipeline stage: remember the first round the overlay
-/// disconnected (0 = never). Shows how scenario-specific measurement
-/// plugs into the engine instead of being wired into the event loop.
+/// disconnected (0 = never). Reading ev.connected() triggers the lazy
+/// per-round connectivity scan -- scenario-specific measurement plugs
+/// into the engine instead of being wired into an event loop.
 class DisconnectWatch final : public dash::api::Observer {
  public:
   std::string name() const override { return "disconnect-watch"; }
   void on_round_end(const dash::api::Network&,
                     const dash::api::RoundEvent& ev) override {
-    if (first_disconnect_ == 0 && !ev.connected) {
+    if (first_disconnect_ == 0 && !ev.connected()) {
       first_disconnect_ = ev.round;
     }
   }
@@ -49,11 +49,8 @@ class DisconnectWatch final : public dash::api::Observer {
   std::size_t first_disconnect_ = 0;
 };
 
-/// Realistic overlay churn: targeted deletions of supernode neighbors,
-/// organic random departures, and new peers joining (attaching to two
-/// random live peers), for `rounds` events total. Deletions and joins
-/// are interleaved through the engine's event API.
-ChurnOutcome run_overlay(std::size_t n, bool heal, std::size_t rounds,
+ChurnOutcome run_overlay(std::size_t n, bool heal,
+                         const dash::api::Scenario& scenario,
                          std::uint64_t seed) {
   dash::util::Rng rng(seed);
   Graph g = dash::graph::barabasi_albert(n, 3, rng);
@@ -63,35 +60,10 @@ ChurnOutcome run_overlay(std::size_t n, bool heal, std::size_t rounds,
   DisconnectWatch watch;
   net.add_observer(&watch);
 
-  dash::attack::NeighborOfMaxAttack targeted(seed);
-  dash::attack::RandomAttack departures(seed + 1);
-  dash::util::Rng join_rng(seed + 2);
+  const dash::api::Metrics m = net.play(scenario, rng);
 
-  for (std::size_t round = 0;
-       round < rounds && net.graph().num_alive() > 1; ++round) {
-    if (round % 5 == 4) {
-      // A new peer joins, bootstrapping off two random live peers.
-      auto alive = net.graph().alive_nodes();
-      join_rng.shuffle(alive);
-      std::vector<NodeId> targets(
-          alive.begin(),
-          alive.begin() + std::min<std::size_t>(2, alive.size()));
-      net.join(targets);
-      continue;
-    }
-    // Otherwise a peer disappears: 2/3 targeted sabotage, 1/3 organic.
-    dash::attack::AttackStrategy& atk =
-        (round % 3 == 2)
-            ? static_cast<dash::attack::AttackStrategy&>(departures)
-            : static_cast<dash::attack::AttackStrategy&>(targeted);
-    const NodeId victim = atk.select(net.graph(), net.state());
-    if (victim == dash::graph::kInvalidNode) break;
-    net.remove(victim);
-  }
-
-  const dash::api::Metrics m = net.finish();
   ChurnOutcome out;
-  out.rounds = m.deletions;
+  out.deletions = m.deletions;
   out.joins = m.joins;
   out.first_disconnect_round = watch.first_disconnect();
   out.final_alive = net.graph().num_alive();
@@ -108,24 +80,32 @@ int main(int argc, char** argv) {
   dash::util::Options opt(
       "P2P overlay under supernode-neighbor attack + churn");
   opt.add_uint("n", &n, "number of peers");
-  opt.add_uint("rounds", &rounds, "deletions to simulate");
+  opt.add_uint("rounds", &rounds,
+               "churn events to simulate (run in 5-event iterations, "
+               "rounded down, minimum one iteration)");
   opt.add_uint("seed", &seed, "RNG seed");
   if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
 
-  std::cout << "P2P overlay: " << n << " peers, " << rounds
-            << " churn events (deletions 2/3 targeted at supernode "
-               "neighbors, 1/3 organic; every 5th event a new peer "
-               "joins)\n\n";
+  // Five events per iteration: sabotage x2, organic departure,
+  // sabotage, then a new peer bootstrapping off two random live peers.
+  const std::uint64_t iterations = std::max<std::uint64_t>(1, rounds / 5);
+  const auto scenario = dash::api::Scenario::parse(
+      "floor:2;repeat:" + std::to_string(iterations) +
+      "{strike:neighborofmaxx2;strike:randomx1;strike:neighborofmaxx1;"
+      "churn:1,0x1}");
+
+  std::cout << "P2P overlay: " << n << " peers, scenario "
+            << scenario.spec() << "\n\n";
 
   dash::util::Table table({"healing", "deletions", "joins",
                            "first_disconnect", "final_alive",
                            "largest_component", "max_degree_increase"});
   for (const bool heal : {false, true}) {
-    const auto o = run_overlay(static_cast<std::size_t>(n), heal,
-                               static_cast<std::size_t>(rounds), seed);
+    const auto o =
+        run_overlay(static_cast<std::size_t>(n), heal, scenario, seed);
     table.begin_row()
         .cell(heal ? "DASH" : "none")
-        .cell(std::to_string(o.rounds))
+        .cell(std::to_string(o.deletions))
         .cell(std::to_string(o.joins))
         .cell(o.first_disconnect_round == 0
                   ? "never"

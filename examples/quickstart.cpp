@@ -1,8 +1,10 @@
 // quickstart.cpp -- the smallest complete use of the library:
-// build a network, hand it to the api::Network engine, attack it, heal
-// it with DASH, and inspect the guarantees via observers.
+// build a network, hand it to the api::Network engine, describe the
+// workload as a declarative scenario, play it, and inspect the
+// guarantees via observers.
 //
 //   $ ./quickstart [--n 256] [--healer dash] [--attack neighborofmax]
+//   $ ./quickstart --scenario 'churn:0.3,0.1x200;batch:4x10'
 #include <cmath>
 #include <iostream>
 
@@ -14,6 +16,7 @@
 int main(int argc, char** argv) {
   std::uint64_t n = 256, seed = 42;
   std::string healer_name = "dash", attack_name = "neighborofmax";
+  std::string scenario_spec;
   dash::util::Options opt("dashheal quickstart");
   opt.add_uint("n", &n, "network size");
   opt.add_uint("seed", &seed, "RNG seed");
@@ -21,6 +24,8 @@ int main(int argc, char** argv) {
                  "healing strategy (dash/sdash/graph/binarytree/line)");
   opt.add_string("attack", &attack_name,
                  "attack strategy (maxnode/neighborofmax/random/...)");
+  opt.add_string("scenario", &scenario_spec,
+                 "scenario spec (default: targeted:<attack>)");
   if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
 
   // 1. Build a power-law network (the paper's experimental substrate)
@@ -37,15 +42,28 @@ int main(int argc, char** argv) {
   dash::api::InvariantObserver invariants;
   net.add_observer(&invariants);
 
-  // 3. Pick an adversary from the registry and let it delete every
-  //    node; the engine heals after each deletion.
-  auto attacker = dash::attack::make_attack(attack_name, seed);
-  std::cout << "attack: " << attacker->name()
+  // 3. Describe the workload declaratively. The default spec is the
+  //    paper's full schedule -- the chosen adversary deletes until one
+  //    node remains -- but any phase list works (try
+  //    --scenario 'churn:0.3,0.1x200;batch:4x10').
+  dash::api::Scenario scenario;
+  try {
+    scenario = dash::api::Scenario::parse(
+        scenario_spec.empty() ? "targeted:" + attack_name : scenario_spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bad scenario: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "scenario: " << scenario.spec()
             << ", healer: " << net.healer().name() << "\n";
-  const dash::api::Metrics result = net.run(*attacker);
 
-  // 4. Report.
-  std::cout << "\nafter " << result.deletions << " deletions:\n"
+  // 4. Play it; the engine heals after every deletion and all
+  //    randomness comes from the seed stream.
+  const dash::api::Metrics result = net.play(scenario, rng);
+
+  // 5. Report.
+  std::cout << "\nafter " << result.deletions << " deletions and "
+            << result.joins << " joins:\n"
             << "  stayed connected:    "
             << (result.stayed_connected ? "yes" : "NO") << "\n"
             << "  invariants:          "

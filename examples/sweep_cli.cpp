@@ -1,17 +1,22 @@
 // sweep_cli.cpp -- general experiment driver: pick any graph family,
-// attack, healer set and metric from the command line, sweep sizes,
-// and emit the series as a table and optional CSV. This is the
-// "run your own figure" entry point for downstream users.
+// scenario, healer set and metric from the command line, sweep sizes,
+// and emit the series as a table, optional CSV, and optional
+// BENCH_*.json summary. This is the "run your own figure" entry point
+// for downstream users.
 //
-// Healers and attacks are resolved through the strategy registries, so
-// anything registered on core::healer_registry() / attack_registry()
-// (including parameterized specs like "capped:2" or "sdash:4") works
-// here; --help lists the registered spellings.
+// Healers, attacks and scenario phases are resolved through the
+// registries, so anything registered on core::healer_registry() /
+// attack::attack_registry() / api::scenario_phase_registry() (including
+// parameterized specs like "capped:2" or "sdash:4") works here; --help
+// lists the registered spellings.
 //
 //   $ ./sweep_cli --family ba --attack maxnode --metric stretch
 //       --healers dash,sdash,graph --max-n 128
+//   $ ./sweep_cli --scenario 'churn:0.4,0.4x300;batch:8' --metric max_delta
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "api/api.h"
@@ -76,10 +81,12 @@ double extract(const Metrics& r, const std::string& metric) {
   if (metric == "stretch") return r.max_stretch;
   if (metric == "surrogates")
     return static_cast<double>(r.surrogate_heals);
+  if (metric == "joins") return static_cast<double>(r.joins);
+  if (metric == "deletions") return static_cast<double>(r.deletions);
   throw std::invalid_argument(
       "unknown metric: " + metric +
       " (max_delta/id_changes/messages/messages_sent/edges_added/"
-      "stretch/surrogates)");
+      "stretch/surrogates/joins/deletions)");
 }
 
 std::string joined(const std::vector<std::string>& names) {
@@ -96,7 +103,7 @@ std::string joined(const std::vector<std::string>& names) {
 int main(int argc, char** argv) {
   std::string family = "ba", attack = "neighborofmax";
   std::string healers = "graph,line,binarytree,dash,sdash";
-  std::string metric = "max_delta", csv_path;
+  std::string metric = "max_delta", csv_path, json_path, scenario_spec;
   std::uint64_t instances = 10, seed = 0xDA5B, min_n = 64, max_n = 512;
   std::uint64_t ba_edges = 2, deletions = 0, threads = 0;
 
@@ -107,23 +114,37 @@ int main(int argc, char** argv) {
   opt.add_string("healers", &healers,
                  "comma-separated healing strategies (" +
                      joined(dash::core::strategy_names()) + ")");
+  opt.add_string("scenario", &scenario_spec,
+                 "scenario spec, phases: " +
+                     joined(dash::api::scenario_phase_registry().names()) +
+                     " (default: targeted:<attack>)");
   opt.add_string("metric", &metric,
                  "metric (max_delta/id_changes/messages/messages_sent/"
-                 "edges_added/stretch/surrogates)");
+                 "edges_added/stretch/surrogates/joins/deletions)");
   opt.add_uint("instances", &instances, "instances per data point");
   opt.add_uint("seed", &seed, "base RNG seed");
   opt.add_uint("min-n", &min_n, "smallest size");
   opt.add_uint("max-n", &max_n, "largest size (doubling sweep)");
   opt.add_uint("ba-edges", &ba_edges, "BA attachment edges");
   opt.add_uint("deletions", &deletions,
-               "deletions per run (0 = until one node remains)");
+               "deletions per run (0 = until one node remains; ignored "
+               "with --scenario)");
   opt.add_string("csv", &csv_path, "optional CSV output path");
+  opt.add_string("json", &json_path,
+                 "optional BENCH_*.json summary output path");
   opt.add_uint("threads", &threads, "worker threads");
   if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
 
   try {
     const auto healer_names = split_csv(healers);
     dash::util::ThreadPool pool(static_cast<std::size_t>(threads));
+
+    // The workload: an explicit scenario wins; otherwise the classic
+    // targeted schedule (with the stretch metric's n/2 default depth).
+    dash::api::Scenario custom_scenario;
+    if (!scenario_spec.empty()) {
+      custom_scenario = dash::api::Scenario::parse(scenario_spec);
+    }
 
     std::vector<std::string> header{"n"};
     header.insert(header.end(), healer_names.begin(), healer_names.end());
@@ -133,28 +154,47 @@ int main(int argc, char** argv) {
     dash::util::CsvWriter csv(csv_buf, {"n", "healer", "metric", "mean",
                                         "stddev", "min", "max"});
 
+    std::ofstream json_file;
+    std::optional<dash::api::JsonSummarySink> json;
+    if (!json_path.empty()) {
+      json_file.open(json_path);
+      json.emplace(json_file);
+    }
+
     for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
       table.begin_row().cell(std::to_string(n));
+
+      dash::api::Scenario scenario;
+      if (!scenario_spec.empty()) {
+        scenario = custom_scenario;
+      } else {
+        std::size_t cap = static_cast<std::size_t>(deletions);
+        if (metric == "stretch" && cap == 0) {
+          cap = static_cast<std::size_t>(n) / 2;
+        }
+        scenario = dash::api::Scenario().targeted(attack, cap);
+      }
+
       for (const auto& healer_name : healer_names) {
         dash::api::SuiteConfig cfg;
         cfg.make_graph = make_family(
             family, static_cast<std::size_t>(n),
             static_cast<std::size_t>(ba_edges));
-        cfg.make_attacker = dash::api::attacker_factory(attack);
         cfg.make_healer = dash::api::healer_factory(healer_name);
+        cfg.scenario = scenario;
         cfg.instances = static_cast<std::size_t>(instances);
         cfg.base_seed = seed ^ (n * 0x9E3779B97F4A7C15ULL);
-        if (deletions > 0) {
-          cfg.run.max_deletions = static_cast<std::size_t>(deletions);
-        }
         if (metric == "stretch") {
           cfg.configure = [](dash::api::Network& net) {
             net.add_observer(
                 std::make_unique<dash::api::StretchObserver>(4));
           };
-          if (deletions == 0) {
-            cfg.run.max_deletions = static_cast<std::size_t>(n) / 2;
-          }
+        }
+        if (json) {
+          json->begin_group({{"n", std::to_string(n)},
+                             {"strategy", healer_name},
+                             {"scenario", scenario.spec()}});
+          cfg.sinks.push_back(&*json);
         }
         const auto results = dash::api::run_suite(cfg, &pool);
         const auto summary = dash::api::summarize_metric(
@@ -168,7 +208,9 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(n));
     }
 
-    std::cout << "\n== sweep: family=" << family << " attack=" << attack
+    std::cout << "\n== sweep: family=" << family << " scenario="
+              << (scenario_spec.empty() ? "targeted:" + attack
+                                        : scenario_spec)
               << " metric=" << metric << " instances=" << instances
               << " ==\n\n";
     table.print(std::cout);
@@ -176,6 +218,10 @@ int main(int argc, char** argv) {
       std::ofstream out(csv_path);
       out << csv_buf.str();
       std::cout << "\nCSV written to " << csv_path << "\n";
+    }
+    if (json) {
+      json->flush();
+      std::cout << "\nJSON summary written to " << json_path << "\n";
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -12,7 +12,6 @@
 
 #include "analysis/dot.h"
 #include "api/api.h"
-#include "attack/basic.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -36,7 +35,7 @@ class DotFrameObserver final : public dash::api::Observer {
 
   void on_round_end(const dash::api::Network& net,
                     const dash::api::RoundEvent& ev) override {
-    if (!ev.connected) {
+    if (!ev.connected()) {
       std::cerr << "FATAL: disconnected at round " << ev.round << "\n";
       std::exit(1);
     }
@@ -81,13 +80,15 @@ int main(int argc, char** argv) {
   DotFrameObserver frames{std::filesystem::path(out_dir)};
   net.add_observer(&frames);
 
-  dash::attack::MaxNodeAttack atk;
-  dash::api::RunOptions opts;
-  opts.max_deletions = static_cast<std::size_t>(deletions);
-  opts.stop_condition = [](const dash::api::Network& engine) {
-    return engine.graph().num_alive() <= 2;
-  };
-  net.run(atk, opts);
+  // One frame per deletion: a strike scenario against the busiest
+  // nodes, never going below 2 alive. --deletions 0 still emits the
+  // initial frame (dumped on attach); a zero-count strike phase is not
+  // a valid spec.
+  if (deletions > 0) {
+    const auto scenario = dash::api::Scenario::parse(
+        "floor:2;strike:maxnodex" + std::to_string(deletions));
+    net.play(scenario, rng);
+  }
 
   std::cout << "\nrender with: dot -Tsvg " << out_dir
             << "/step_00.dot -o step0.svg\n";

@@ -1,11 +1,14 @@
 // api.h -- umbrella header for the engine layer: Network + observers +
-// the multi-instance suite driver + both strategy registries.
+// declarative scenarios + metric sinks + the multi-instance suite
+// driver + both strategy registries.
 #pragma once
 
 #include "api/metrics.h"     // IWYU pragma: export
 #include "api/network.h"     // IWYU pragma: export
 #include "api/observer.h"    // IWYU pragma: export
 #include "api/observers.h"   // IWYU pragma: export
+#include "api/scenario.h"    // IWYU pragma: export
+#include "api/sink.h"        // IWYU pragma: export
 #include "api/suite.h"       // IWYU pragma: export
 #include "attack/factory.h"  // IWYU pragma: export
 #include "core/factory.h"    // IWYU pragma: export

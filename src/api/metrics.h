@@ -5,6 +5,10 @@
 // are filled in by whichever observers are registered when the engine
 // finishes a run. The struct is the same shape the paper's experiments
 // report, so one snapshot serves every figure.
+//
+// Every field is a pure function of the seed and the workload -- no
+// wall-clock numbers live here -- so sequential and parallel suite
+// runs over the same seeds produce byte-identical snapshots.
 #pragma once
 
 #include <cstddef>
@@ -24,11 +28,14 @@ struct Metrics {
   std::size_t edges_added = 0;          ///< healing edges inserted into G
   std::size_t surrogate_heals = 0;      ///< SDASH star-rule activations
   double max_stretch = 0.0;  ///< max over sampled rounds (StretchObserver)
+  /// True while no connectivity check ever failed. Per-round checks are
+  /// lazy (RoundEvent::connected()): a round is only inspected when an
+  /// observer or RunOptions::stop_when_disconnected asks, plus one
+  /// final check in Network::finish().
   bool stayed_connected = true;
   /// First invariant violation encountered (empty if none / unchecked;
   /// filled by InvariantObserver).
   std::string violation;
-  double heal_seconds = 0.0;  ///< time spent inside heal() calls
 };
 
 }  // namespace dash::api

@@ -6,7 +6,6 @@
 #include "core/factory.h"
 #include "graph/traversal.h"
 #include "util/check.h"
-#include "util/timer.h"
 
 namespace dash::api {
 
@@ -14,6 +13,15 @@ using core::HealAction;
 using core::HealingState;
 using graph::Graph;
 using graph::NodeId;
+
+bool RoundEvent::connected() const {
+  if (!connected_.has_value()) {
+    // Events detached from an engine (unit-test fixtures) default to
+    // connected; engine-emitted events carry their graph.
+    connected_ = graph_ == nullptr || graph::is_connected(*graph_);
+  }
+  return *connected_;
+}
 
 Network::Network(Graph g, std::unique_ptr<core::HealingStrategy> healer,
                  dash::util::Rng& rng)
@@ -60,18 +68,30 @@ Observer& Network::add_observer(std::unique_ptr<Observer> obs) {
   return ref;
 }
 
+Observer* Network::find_observer(const std::string& name) const {
+  for (Observer* obs : observers_) {
+    if (obs->name() == name) return obs;
+  }
+  return nullptr;
+}
+
 void Network::notify_round_begin(std::size_t round) {
   for (Observer* obs : observers_) obs->on_round_begin(*this, round);
 }
 
 void Network::finish_round(RoundEvent& ev) {
-  ev.connected = graph::is_connected(*g_);
-  last_connected_ = ev.connected;
-  if (!ev.connected) engine_.stayed_connected = false;
+  ev.graph_ = g_;
+  if (force_connectivity_checks_) (void)ev.connected();
   if (ev.ctx != nullptr) {
     for (Observer* obs : observers_) obs->on_heal(*this, ev);
   }
   for (Observer* obs : observers_) obs->on_round_end(*this, ev);
+  // Connectivity is pay-per-ask: fold the scan into stayed_connected
+  // only if this round's pipeline actually performed one.
+  if (ev.connectivity_checked()) {
+    last_connected_ = ev.connected();
+    if (!last_connected_) engine_.stayed_connected = false;
+  }
 }
 
 HealAction Network::remove(NodeId v) {
@@ -82,9 +102,7 @@ HealAction Network::remove(NodeId v) {
   const auto removed_neighbors = g_->delete_node(v);
   DASH_CHECK(removed_neighbors == ctx.neighbors_g);
 
-  dash::util::Timer heal_timer;
   const HealAction action = healer_->heal(*g_, *state_, ctx);
-  engine_.heal_seconds += heal_timer.seconds();
 
   ++engine_.deletions;
   engine_.edges_added += action.new_graph_edges.size();
@@ -111,9 +129,7 @@ std::vector<HealAction> Network::remove_batch(
       core::begin_batch_deletion(*state_, *g_, batch);
   core::delete_batch(*g_, batch);
 
-  dash::util::Timer heal_timer;
   const auto actions = core::dash_heal_batch(*g_, *state_, ctx);
-  engine_.heal_seconds += heal_timer.seconds();
 
   engine_.deletions += batch.size();
   std::size_t round_edges = 0;
@@ -147,6 +163,10 @@ NodeId Network::join(const std::vector<NodeId>& attach_to) {
 
 Metrics Network::run(attack::AttackStrategy& attacker,
                      const RunOptions& opts) {
+  // Stopping on disconnection needs the answer every round, so force
+  // the otherwise-lazy per-round connectivity scan for this run.
+  const bool saved_force = force_connectivity_checks_;
+  force_connectivity_checks_ |= opts.stop_when_disconnected;
   while (g_->num_alive() > 1 && engine_.deletions < opts.max_deletions) {
     if (opts.stop_condition && opts.stop_condition(*this)) break;
     const NodeId victim = attacker.select(*g_, *state_);
@@ -155,6 +175,7 @@ Metrics Network::run(attack::AttackStrategy& attacker,
     remove(victim);
     if (!last_connected_ && opts.stop_when_disconnected) break;
   }
+  force_connectivity_checks_ = saved_force;
   return finish();
 }
 
@@ -168,6 +189,19 @@ Metrics Network::metrics() const {
 }
 
 Metrics Network::finish() {
+  // Rounds nobody inspected skipped their connectivity scan; settle
+  // the account with one final check of the *current* network. Note
+  // this is a present-state check only: a run whose rounds all went
+  // unobserved can have disconnected mid-way and been ground down to a
+  // trivially connected remnant without stayed_connected noticing --
+  // callers who care about transient disconnection (NoHeal studies)
+  // must ask per round, via stop_when_disconnected or an observer that
+  // reads RoundEvent::connected().
+  if (engine_.stayed_connected && g_->num_alive() > 1 &&
+      !graph::is_connected(*g_)) {
+    engine_.stayed_connected = false;
+    last_connected_ = false;
+  }
   Metrics m = metrics();
   for (Observer* obs : observers_) obs->on_finish(*this, m);
   return m;

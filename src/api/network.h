@@ -1,18 +1,17 @@
 // network.h -- the self-healing network engine: one object that owns
 // the graph, the healing state, and the healing strategy, exposes the
-// paper's protocol as events (remove / remove_batch / join / run), and
-// feeds a pluggable Observer pipeline.
+// paper's protocol as events (remove / remove_batch / join / run /
+// play), and feeds a pluggable Observer pipeline.
 //
 // Every workload in this repository -- figure benches, the sweep CLI,
-// the examples, the schedule-level tests -- drives this engine; the old
-// free-function drivers in analysis/experiment.h are deprecated shims
-// over it.
+// the examples, the schedule-level tests -- drives this engine, almost
+// always through a declarative Scenario (api/scenario.h):
 //
 //   api::Network net(graph::barabasi_albert(256, 2, rng), "dash", rng);
 //   api::InvariantObserver inv;
 //   net.add_observer(&inv);
-//   auto attacker = attack::make_attack("neighborofmax", 7);
-//   const api::Metrics m = net.run(*attacker);
+//   const api::Metrics m =
+//       net.play(api::Scenario::parse("targeted:neighborofmax"), 7);
 #pragma once
 
 #include <cstdint>
@@ -32,6 +31,9 @@
 #include "util/rng.h"
 
 namespace dash::api {
+
+class Scenario;
+struct PlayOptions;
 
 struct RunOptions {
   /// Maximum deletions for this run() call (counted across calls; by
@@ -59,8 +61,9 @@ class Network {
           std::uint64_t seed);
 
   /// Borrowed constructor: operate on externally owned graph/state/
-  /// healer. Exists for the deprecated analysis::run_schedule shim;
-  /// new code should use the owning constructors.
+  /// healer, for callers that need to inspect or keep mutating those
+  /// objects after the run. New code should prefer the owning
+  /// constructors.
   Network(graph::Graph& g, core::HealingState& state,
           core::HealingStrategy& healer);
 
@@ -76,6 +79,11 @@ class Network {
   /// Register an engine-owned observer; returns a reference for later
   /// inspection.
   Observer& add_observer(std::unique_ptr<Observer> obs);
+
+  /// First registered observer whose name() matches, or nullptr. Lets
+  /// downstream stages (a SinkObserver wired up by run_suite) find
+  /// producers (a StretchObserver from SuiteConfig::configure).
+  Observer* find_observer(const std::string& name) const;
 
   // ---- events -------------------------------------------------------
 
@@ -99,6 +107,20 @@ class Network {
   /// stop condition fires; then finish() and return the snapshot.
   Metrics run(attack::AttackStrategy& attacker, const RunOptions& opts = {});
 
+  /// Execute a declarative scenario (api/scenario.h): every phase in
+  /// order, drawing all randomness (attack seeds, churn coin flips,
+  /// batch victim shuffles) from `rng`; then finish() and return the
+  /// snapshot. One seed -> one byte-identical run. `opts` carries
+  /// play-level knobs (stop_condition).
+  Metrics play(const Scenario& scenario, dash::util::Rng& rng,
+               const PlayOptions& opts);
+  Metrics play(const Scenario& scenario, dash::util::Rng& rng);
+
+  /// Convenience overloads seeding a fresh stream.
+  Metrics play(const Scenario& scenario, std::uint64_t seed,
+               const PlayOptions& opts);
+  Metrics play(const Scenario& scenario, std::uint64_t seed);
+
   /// Snapshot metrics and give every observer its on_finish() chance to
   /// contribute (violation, stretch, ...). Idempotent; run() calls it.
   Metrics finish();
@@ -113,7 +135,8 @@ class Network {
   std::size_t initial_size() const { return initial_size_; }
   /// Deletions so far (== the last RoundEvent's round).
   std::size_t rounds() const { return engine_.deletions; }
-  /// False once any post-heal connectivity check failed.
+  /// False once any *performed* post-heal connectivity check failed
+  /// (checks are lazy; see RoundEvent::connected()).
   bool stayed_connected() const { return engine_.stayed_connected; }
 
   /// Engine-maintained metrics refreshed from the healing state, with
@@ -138,6 +161,9 @@ class Network {
   Metrics engine_;  ///< incrementally maintained fields only
   std::size_t initial_size_ = 0;
   bool last_connected_ = true;
+  /// When set (run() with stop_when_disconnected), every round pays for
+  /// the connectivity scan even if no observer asks.
+  bool force_connectivity_checks_ = false;
 };
 
 }  // namespace dash::api

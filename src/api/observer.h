@@ -1,15 +1,15 @@
 // observer.h -- the pluggable measurement/validation pipeline of the
 // api::Network engine.
 //
-// The engine owns the protocol loop (delete -> heal -> propagate); what
-// used to be hardwired flags on the old analysis::ScheduleConfig
-// (invariant battery, stretch tracking, per-round recording) is now a
-// list of observers registered on the engine. Observers are notified in
-// registration order -- register producers before consumers (e.g. a
-// StretchObserver before the RecorderObserver that reads its samples).
+// The engine owns the protocol loop (delete -> heal -> propagate);
+// measurement is a list of observers registered on the engine,
+// notified in registration order -- register producers before
+// consumers (e.g. a StretchObserver before the SinkObserver that logs
+// its samples into the output rows).
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,7 +36,21 @@ struct RoundEvent {
   /// Healing edges inserted into G this round (summed over the batch's
   /// clusters for batch rounds).
   std::size_t edges_added = 0;
-  bool connected = true;  ///< post-heal connectivity of the network
+
+  /// Post-heal connectivity of the network. Computed lazily on the
+  /// first call (one O(n+m) scan) and cached for the rest of the
+  /// round's pipeline; rounds where nothing asks skip the scan
+  /// entirely, which is what keeps observer-less scenario hot paths
+  /// cheap. The engine folds any computed value into
+  /// Metrics::stayed_connected after the observers ran.
+  bool connected() const;
+  /// True once some pipeline stage paid for the connectivity scan.
+  bool connectivity_checked() const { return connected_.has_value(); }
+
+ private:
+  friend class Network;
+  const graph::Graph* graph_ = nullptr;
+  mutable std::optional<bool> connected_;
 };
 
 /// One organic arrival (Network::join). Holds the attach list by value

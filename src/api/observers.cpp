@@ -39,6 +39,13 @@ void InvariantObserver::run_battery(const Network& net,
 
 void InvariantObserver::on_round_end(const Network& net,
                                      const RoundEvent& ev) {
+  // The battery implies the connectivity guarantee; asking the event
+  // triggers the (lazy) scan, which the engine also folds into
+  // Metrics::stayed_connected.
+  if (violation_.empty() && !ev.connected()) {
+    violation_ = "network disconnected after round " +
+                 std::to_string(ev.round);
+  }
   run_battery(net, &ev);
 }
 
@@ -68,7 +75,10 @@ void StretchObserver::on_round_end(const Network& net,
   if (!active_) return;
   const bool due = ev.round % sample_every_ == 0 ||
                    net.graph().num_alive() <= 2;
-  if (!due || !ev.connected) return;
+  // Check `due` first: only sampled rounds pay for the (lazy)
+  // connectivity scan, and stretch is undefined on a disconnected
+  // network anyway.
+  if (!due || !ev.connected()) return;
   last_sample_ = tracker_->max_stretch(net.graph());
   max_stretch_ = std::max(max_stretch_, last_sample_);
   sampled_last_round_ = true;
@@ -76,29 +86,6 @@ void StretchObserver::on_round_end(const Network& net,
 
 void StretchObserver::on_finish(const Network&, Metrics& out) {
   out.max_stretch = std::max(out.max_stretch, max_stretch_);
-}
-
-// ---- RecorderObserver -----------------------------------------------
-
-void RecorderObserver::on_round_end(const Network& net,
-                                    const RoundEvent& ev) {
-  // Batch rounds produce one row covering deletions_in_round nodes:
-  // `round` jumps by the batch size and `deleted_node` names the first
-  // batch member.
-  analysis::DeletionRecord rec;
-  rec.round = ev.round;
-  rec.deleted_node =
-      ev.victim == graph::kInvalidNode ? 0 : ev.victim;
-  rec.alive = net.graph().num_alive();
-  rec.edges = net.graph().num_edges();
-  rec.edges_added = ev.edges_added;
-  rec.max_delta = net.state().max_delta_ever();
-  rec.largest_component = graph::connected_components(net.graph()).largest();
-  if (stretch_ != nullptr && stretch_->sampled_last_round()) {
-    rec.stretch = stretch_->last_sample();
-    rec.stretch_sampled = true;
-  }
-  recorder_.add(rec);
 }
 
 }  // namespace dash::api

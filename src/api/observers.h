@@ -1,15 +1,15 @@
-// observers.h -- the built-in observer set: everything the old
-// analysis::ScheduleConfig booleans hardwired, as pluggable pipeline
-// stages.
+// observers.h -- the built-in measurement observers:
 //
 //   InvariantObserver -- the full per-round invariant battery
 //                        (+ optional DASH-only rem / delta bounds)
 //   StretchObserver   -- Fig. 10 stretch sampling against the time-0
 //                        network
-//   RecorderObserver  -- per-round time series into analysis::Recorder
 //
-// Register producers before consumers: a RecorderObserver that should
-// log stretch samples must come after its StretchObserver.
+// Per-round *output* (time series, CSV streams, JSON summaries) is the
+// sink layer's job: see api/sink.h for MetricSink and the SinkObserver
+// pipeline stage that feeds it. Register producers before consumers: a
+// SinkObserver that should log stretch samples must come after its
+// StretchObserver.
 #pragma once
 
 #include <cstddef>
@@ -17,7 +17,6 @@
 #include <string>
 
 #include "analysis/invariants.h"
-#include "analysis/recorder.h"
 #include "analysis/stretch.h"
 #include "api/network.h"
 #include "api/observer.h"
@@ -89,25 +88,6 @@ class StretchObserver final : public Observer {
   double last_sample_ = 0.0;
   bool sampled_last_round_ = false;
   bool active_ = true;
-};
-
-/// Appends one analysis::DeletionRecord per round to a Recorder. Pass
-/// the StretchObserver (registered *before* this one) to log its
-/// samples into the time series.
-class RecorderObserver final : public Observer {
- public:
-  explicit RecorderObserver(analysis::Recorder& recorder,
-                            const StretchObserver* stretch = nullptr)
-      : recorder_(recorder), stretch_(stretch) {}
-
-  std::string name() const override { return "recorder"; }
-  void on_round_end(const Network& net, const RoundEvent& ev) override;
-
-  const analysis::Recorder& recorder() const { return recorder_; }
-
- private:
-  analysis::Recorder& recorder_;
-  const StretchObserver* stretch_;
 };
 
 }  // namespace dash::api

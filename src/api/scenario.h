@@ -1,0 +1,175 @@
+// scenario.h -- declarative experiment workloads for the engine.
+//
+// A Scenario is a value describing *what happens to the network*: an
+// ordered list of phases, each a compact event pattern the engine can
+// execute, instead of a hand-rolled driver loop. Scenarios come from
+// a builder API or from a one-line text spec:
+//
+//   api::Scenario sc = api::Scenario()
+//                          .churn(0.3, 0.1, 500)
+//                          .batch_strike(8, 50);
+//   // ... is the same workload as ...
+//   api::Scenario sc = api::Scenario::parse("churn:0.3,0.1x500;batch:8x50");
+//
+//   api::Network net(std::move(g), "dash", seed);
+//   const api::Metrics m = net.play(sc, seed);
+//
+// Grammar (phases separated by ';', each `name[:args][xCOUNT]`; the
+// count is the trailing `x<digits>` of the args):
+//
+//   strike[:<attack>][xN]        N single deletions picked by <attack>
+//                                (default maxnode, N default 1);
+//                                strike:N is shorthand for strike xN
+//   batch:<k>[,hubs|random][xN]  N simultaneous k-node strikes (the
+//                                footnote-1 batch protocol); without
+//                                xN, repeat while > k nodes survive
+//   churn:<jr>,<lr>[,<a>]xN      N churn ticks; each joins a new node
+//                                (wired to <a>=2 random peers) with
+//                                probability jr and deletes a random
+//                                node with probability lr
+//   targeted[:<attack>][xN]      run <attack> until it stops (or xN
+//                                deletions) -- the classic full
+//                                schedule is `targeted:<attack>`
+//   until:<n>[,<attack>]         delete via <attack> until <= n alive
+//   repeat:<k>{...}              repeat a nested phase list k times
+//   floor:<n>                    never delete below n alive nodes
+//
+// Phase names are served by a util::Registry, so the error for an
+// unknown phase lists every registered spelling, and downstream code
+// can register its own phases. All randomness a phase consumes is
+// drawn from the RNG stream handed to Network::play -- one seed, one
+// byte-identical run, which is what makes parallel suites
+// (api/suite.h) deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/strategy.h"
+#include "util/registry.h"
+#include "util/rng.h"
+
+namespace dash::api {
+
+class Network;
+
+/// Knobs for one Network::play() call.
+struct PlayOptions {
+  /// Checked before every phase event; a true return ends the play
+  /// (after which finish() still runs). Use for conditions the phase
+  /// grammar cannot express, e.g. "stop at the first disconnection"
+  /// together with an observer reading RoundEvent::connected().
+  std::function<bool(const Network&)> stop_condition;
+};
+
+/// Mutable per-play state threaded through phase execution.
+struct PlayContext {
+  Network& net;
+  dash::util::Rng& rng;
+  /// Deletions never take the network to or below this many alive
+  /// nodes (set by the `floor` phase; 1 keeps the last survivor).
+  std::size_t floor = 1;
+  const PlayOptions* options = nullptr;
+
+  /// True once the play-level stop condition fired; phases must bail
+  /// out of their event loops when it does.
+  bool stopped() const {
+    return options != nullptr && options->stop_condition &&
+           options->stop_condition(net);
+  }
+};
+
+/// One phase of a scenario. Implementations are value-like: clone()
+/// must produce an independent deep copy, and execute() must draw all
+/// randomness from ctx.rng.
+class ScenarioPhase {
+ public:
+  virtual ~ScenarioPhase() = default;
+
+  /// Canonical text form (parseable back through Scenario::parse,
+  /// except for phases built from custom attacker factories).
+  virtual std::string spec() const = 0;
+
+  virtual void execute(PlayContext& ctx) const = 0;
+
+  virtual std::unique_ptr<ScenarioPhase> clone() const = 0;
+};
+
+/// Builds a per-instance adversary from a derived seed; lets scenarios
+/// carry attacks that are not registry-constructible (LevelAttack
+/// needs its tree metadata, for example).
+using AttackerFactory =
+    std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>;
+
+class Scenario {
+ public:
+  Scenario() = default;
+  Scenario(const Scenario& other) { *this = other; }
+  Scenario& operator=(const Scenario& other);
+  Scenario(Scenario&&) noexcept = default;
+  Scenario& operator=(Scenario&&) noexcept = default;
+
+  /// Parse a text spec (grammar above). Throws std::invalid_argument
+  /// for empty phases, zero counts, malformed parameters, and unknown
+  /// phase names (the error lists every registered spelling).
+  static Scenario parse(const std::string& spec);
+
+  // ---- builder (each returns *this for chaining) --------------------
+
+  /// `count` single deletions picked by `attack`.
+  Scenario& strike(std::size_t count, const std::string& attack = "maxnode");
+  /// Simultaneous `batch_size`-node strikes: `rounds` of them, or --
+  /// with rounds == 0 -- for as long as more than batch_size nodes
+  /// survive. Mode "hubs" hits the highest-degree nodes, "random"
+  /// uniform ones.
+  Scenario& batch_strike(std::size_t batch_size, std::size_t rounds = 0,
+                         const std::string& mode = "hubs");
+  /// `events` churn ticks: each joins a newcomer (attached to `attach`
+  /// random alive peers) with probability join_rate, and deletes a
+  /// uniform random node with probability leave_rate.
+  Scenario& churn(double join_rate, double leave_rate, std::size_t events,
+                  std::size_t attach = 2);
+  /// Run a registry attack until it stops or the network is exhausted;
+  /// max_deletions == 0 means unlimited.
+  Scenario& targeted(const std::string& attack,
+                     std::size_t max_deletions = 0);
+  /// Same, with a custom adversary (labelled for spec() output only).
+  Scenario& targeted(AttackerFactory factory, const std::string& label,
+                     std::size_t max_deletions = 0);
+  /// Delete via `attack` until at most n nodes remain.
+  Scenario& until_n_left(std::size_t n, const std::string& attack = "maxnode");
+  /// Repeat a nested scenario `times` times.
+  Scenario& repeat(std::size_t times, Scenario body);
+  /// Deletions never reduce the network to <= min_alive nodes from
+  /// this point on.
+  Scenario& floor(std::size_t min_alive);
+
+  /// Append an externally built phase.
+  Scenario& add(std::unique_ptr<ScenarioPhase> phase);
+
+  // ---- introspection -------------------------------------------------
+
+  /// Canonical spec string: `parse(s).spec()` is a fixed point.
+  std::string spec() const;
+  bool empty() const { return phases_.empty(); }
+  std::size_t size() const { return phases_.size(); }
+  const std::vector<std::unique_ptr<ScenarioPhase>>& phases() const {
+    return phases_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ScenarioPhase>> phases_;
+};
+
+/// The registry serving phase-name lookups for Scenario::parse.
+/// Built-ins: strike (alias delete), batch (aliases batch_strike,
+/// batchstrike), churn, targeted (aliases targeted_attack, run), until
+/// (aliases until_n_left, untilnleft), repeat, floor. Case-insensitive;
+/// downstream code may register more.
+util::Registry<ScenarioPhase>& scenario_phase_registry();
+
+}  // namespace dash::api

@@ -1,0 +1,215 @@
+#include "api/sink.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "api/network.h"
+#include "api/observers.h"
+#include "graph/traversal.h"
+#include "util/stats.h"
+
+namespace dash::api {
+
+namespace {
+
+const std::vector<std::string>& row_header() {
+  static const std::vector<std::string> header{
+      "instance",      "round",       "deletions_in_round",
+      "event_node",    "kind",        "alive",
+      "edges",         "edges_added", "max_delta",
+      "largest_component", "stretch", "stretch_sampled"};
+  return header;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) { return util::CsvWriter::to_field(v); }
+
+/// The numeric Metrics fields a summary aggregates, name -> extractor.
+const std::vector<
+    std::pair<std::string, std::function<double(const Metrics&)>>>&
+summary_fields() {
+  using Field =
+      std::pair<std::string, std::function<double(const Metrics&)>>;
+  static const std::vector<Field> fields{
+      {"deletions",
+       [](const Metrics& m) { return static_cast<double>(m.deletions); }},
+      {"joins",
+       [](const Metrics& m) { return static_cast<double>(m.joins); }},
+      {"max_delta",
+       [](const Metrics& m) { return static_cast<double>(m.max_delta); }},
+      {"max_id_changes",
+       [](const Metrics& m) {
+         return static_cast<double>(m.max_id_changes);
+       }},
+      {"max_messages",
+       [](const Metrics& m) {
+         return static_cast<double>(m.max_messages);
+       }},
+      {"max_messages_sent",
+       [](const Metrics& m) {
+         return static_cast<double>(m.max_messages_sent);
+       }},
+      {"edges_added",
+       [](const Metrics& m) { return static_cast<double>(m.edges_added); }},
+      {"surrogate_heals",
+       [](const Metrics& m) {
+         return static_cast<double>(m.surrogate_heals);
+       }},
+      {"max_stretch", [](const Metrics& m) { return m.max_stretch; }},
+  };
+  return fields;
+}
+
+}  // namespace
+
+// ---- CsvStreamSink ----------------------------------------------------
+
+CsvStreamSink::CsvStreamSink(std::ostream& out)
+    : out_(out), writer_(out, row_header()) {}
+
+void CsvStreamSink::on_row(const RoundRow& row) {
+  writer_.write(row.instance, row.round, row.deletions_in_round,
+                static_cast<std::size_t>(row.event_node),
+                row.is_join ? "join" : "delete", row.alive, row.edges,
+                row.edges_added, static_cast<std::size_t>(row.max_delta),
+                row.largest_component, row.stretch,
+                row.stretch_sampled ? 1 : 0);
+}
+
+void CsvStreamSink::flush() { out_.flush(); }
+
+// ---- JsonSummarySink --------------------------------------------------
+
+void JsonSummarySink::begin_group(
+    std::vector<std::pair<std::string, std::string>> labels) {
+  groups_.push_back(Group{std::move(labels), {}});
+}
+
+void JsonSummarySink::on_run(std::size_t /*instance*/, const Metrics& m) {
+  if (groups_.empty()) groups_.push_back(Group{});
+  groups_.back().runs.push_back(m);
+}
+
+void JsonSummarySink::flush() {
+  if (flushed_) return;  // one document per sink
+  flushed_ = true;
+  out_ << "{\"groups\":[";
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const Group& g = groups_[gi];
+    if (gi) out_ << ',';
+    out_ << "{\"labels\":{";
+    for (std::size_t li = 0; li < g.labels.size(); ++li) {
+      if (li) out_ << ',';
+      out_ << '"' << json_escape(g.labels[li].first) << "\":\""
+           << json_escape(g.labels[li].second) << '"';
+    }
+    out_ << "},\"instances\":" << g.runs.size() << ",\"runs\":[";
+    for (std::size_t ri = 0; ri < g.runs.size(); ++ri) {
+      const Metrics& m = g.runs[ri];
+      if (ri) out_ << ',';
+      out_ << '{';
+      for (std::size_t fi = 0; fi < summary_fields().size(); ++fi) {
+        const auto& [name, get] = summary_fields()[fi];
+        if (fi) out_ << ',';
+        out_ << '"' << name << "\":" << json_number(get(m));
+      }
+      out_ << ",\"stayed_connected\":"
+           << (m.stayed_connected ? "true" : "false");
+      out_ << ",\"violation\":\"" << json_escape(m.violation) << "\"}";
+    }
+    out_ << "],\"summary\":{";
+    for (std::size_t fi = 0; fi < summary_fields().size(); ++fi) {
+      const auto& [name, get] = summary_fields()[fi];
+      std::vector<double> xs;
+      xs.reserve(g.runs.size());
+      for (const Metrics& m : g.runs) xs.push_back(get(m));
+      const util::Summary s = util::summarize(xs);
+      if (fi) out_ << ',';
+      out_ << '"' << name << "\":{\"mean\":" << json_number(s.mean)
+           << ",\"stddev\":" << json_number(s.stddev)
+           << ",\"min\":" << json_number(s.min)
+           << ",\"max\":" << json_number(s.max)
+           << ",\"median\":" << json_number(s.median) << '}';
+    }
+    out_ << "}}";
+  }
+  out_ << "]}\n";
+  out_.flush();
+}
+
+// ---- SinkObserver -------------------------------------------------------
+
+void SinkObserver::on_round_end(const Network& net, const RoundEvent& ev) {
+  // Batch rounds produce one row covering deletions_in_round nodes:
+  // `round` jumps by the batch size and `event_node` names the first
+  // batch member.
+  RoundRow row;
+  row.instance = instance_;
+  row.round = ev.round;
+  row.deletions_in_round = ev.deletions_in_round;
+  row.event_node = ev.victim == graph::kInvalidNode ? 0 : ev.victim;
+  row.alive = net.graph().num_alive();
+  row.edges = net.graph().num_edges();
+  row.edges_added = ev.edges_added;
+  row.max_delta = net.state().max_delta_ever();
+  row.largest_component =
+      graph::connected_components(net.graph()).largest();
+  if (stretch_ != nullptr && stretch_->sampled_last_round()) {
+    row.stretch = stretch_->last_sample();
+    row.stretch_sampled = true;
+  }
+  sink_.on_row(row);
+}
+
+void SinkObserver::on_join(const Network& net, const JoinEvent& ev) {
+  RoundRow row;
+  row.instance = instance_;
+  row.round = net.rounds();
+  row.deletions_in_round = 0;
+  row.event_node = ev.joined;
+  row.is_join = true;
+  row.alive = net.graph().num_alive();
+  row.edges = net.graph().num_edges();
+  row.max_delta = net.state().max_delta_ever();
+  row.largest_component =
+      graph::connected_components(net.graph()).largest();
+  sink_.on_row(row);
+}
+
+void SinkObserver::on_finish(const Network& /*net*/, Metrics& out) {
+  sink_.on_run(instance_, out);
+}
+
+}  // namespace dash::api

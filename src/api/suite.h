@@ -1,7 +1,13 @@
 // suite.h -- multi-instance experiment driver over api::Network: the
 // Sec. 4.1 methodology (N independent random instances, each with its
-// own deterministic RNG stream, averaged afterwards) for the new
-// engine. Replaces the deprecated analysis::run_instances.
+// own deterministic RNG stream, summarized afterwards), driven by a
+// declarative Scenario (api/scenario.h).
+//
+// Instances fan out across a util::ThreadPool; every instance derives
+// its stream from (base_seed, index), and sink output is emitted after
+// the parallel barrier in instance order, so sequential and parallel
+// suites produce byte-identical metrics *and* byte-identical sink
+// bytes.
 #pragma once
 
 #include <functional>
@@ -10,7 +16,8 @@
 #include <vector>
 
 #include "api/network.h"
-#include "attack/factory.h"
+#include "api/scenario.h"
+#include "api/sink.h"
 #include "core/factory.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -21,32 +28,42 @@ namespace dash::api {
 struct SuiteConfig {
   /// Draw the instance's starting network from its RNG stream.
   std::function<graph::Graph(dash::util::Rng&)> make_graph;
-  /// Build the instance's adversary from its derived seed.
-  std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>
-      make_attacker;
   /// Build the instance's healer.
   std::function<std::unique_ptr<core::HealingStrategy>()> make_healer;
-  /// Register per-instance observers on the fresh engine (optional).
+  /// The per-instance workload, played against the instance's stream.
+  Scenario scenario;
+  /// Register per-instance observers on the fresh engine (optional);
+  /// runs before the suite's own SinkObserver, so producers registered
+  /// here are visible to it.
   std::function<void(Network&)> configure;
+  /// Output sinks. Rows and run snapshots are delivered in instance
+  /// order after all instances finished -- identical bytes for
+  /// sequential and parallel execution. The caller owns flushing (a
+  /// sink may collect across several suites, e.g. one JSON group per
+  /// sweep cell).
+  std::vector<MetricSink*> sinks;
+  /// Capture per-round rows for the sinks (costs one
+  /// largest-component scan per round). Summary-only sinks should
+  /// leave this off.
+  bool record_rows = false;
+  /// Post-run inspection hook, called sequentially in instance order
+  /// after every instance completed; the engine (graph + healing
+  /// state) is kept alive until then. For measurements that need more
+  /// than the Metrics snapshot.
+  std::function<void(std::size_t, const Network&, const Metrics&)> inspect;
   std::size_t instances = 30;
   std::uint64_t base_seed = 0xDA5Bu;
-  RunOptions run;
 };
 
-/// Registry-spec conveniences for SuiteConfig wiring.
+/// Registry-spec convenience for SuiteConfig wiring.
 inline std::function<std::unique_ptr<core::HealingStrategy>()>
 healer_factory(const std::string& spec) {
   return [spec] { return core::make_strategy(spec); };
 }
 
-inline std::function<std::unique_ptr<attack::AttackStrategy>(std::uint64_t)>
-attacker_factory(const std::string& spec) {
-  return [spec](std::uint64_t seed) { return attack::make_attack(spec, seed); };
-}
-
-/// Run `instances` independent schedules (in parallel when `pool` is
-/// given) and return per-instance metrics, ordered by instance index.
-/// Results do not depend on the worker count.
+/// Run `instances` independent plays of cfg.scenario (in parallel when
+/// `pool` is given) and return per-instance metrics, ordered by
+/// instance index. Results do not depend on the worker count.
 std::vector<Metrics> run_suite(const SuiteConfig& cfg,
                                dash::util::ThreadPool* pool = nullptr);
 

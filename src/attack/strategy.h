@@ -30,4 +30,24 @@ class AttackStrategy {
   virtual std::unique_ptr<AttackStrategy> clone() const = 0;
 };
 
+/// Non-owning adapter: lets an externally owned, stateful adversary
+/// (e.g. a LevelAttack whose statistics the caller reads afterwards)
+/// serve where a unique_ptr is required -- scenario attacker factories
+/// in particular. The inner attack must outlive every borrow.
+class BorrowedAttack final : public AttackStrategy {
+ public:
+  explicit BorrowedAttack(AttackStrategy& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+  NodeId select(const Graph& g, const HealingState& state) override {
+    return inner_.select(g, state);
+  }
+  std::unique_ptr<AttackStrategy> clone() const override {
+    return std::make_unique<BorrowedAttack>(inner_);
+  }
+
+ private:
+  AttackStrategy& inner_;
+};
+
 }  // namespace dash::attack

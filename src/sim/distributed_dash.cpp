@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/reconstruction_tree.h"
+#include "graph/metrics.h"
 #include "util/check.h"
 
 namespace dash::sim {
@@ -193,6 +194,18 @@ std::uint32_t DistributedDashSim::flood_min_id(
     }
   }
   return last_active_round;
+}
+
+std::size_t run_max_degree_attack(
+    DistributedDashSim& sim, std::size_t max_deletions,
+    const std::function<bool(std::size_t)>& on_deletion) {
+  std::size_t deletions = 0;
+  while (sim.network().num_alive() > 1 && deletions < max_deletions) {
+    sim.delete_and_heal(graph::argmax_degree(sim.network()));
+    ++deletions;
+    if (on_deletion && !on_deletion(deletions)) break;
+  }
+  return deletions;
 }
 
 }  // namespace dash::sim

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -122,5 +123,18 @@ class DistributedDashSim {
   dash::util::Rng delay_rng_{0};
   SimMetrics metrics_;
 };
+
+/// The standard distributed schedule every sim bench runs: delete the
+/// current max-degree node (the MaxNode adversary) and heal, until one
+/// node remains or `max_deletions` is hit. `on_deletion(deletions)`
+/// fires after each deletion for progress reporting and may return
+/// false to stop the schedule early (fail-fast on a detected anomaly);
+/// pass nullptr when not needed. Returns the number of deletions
+/// performed. The sequential engine's equivalent workload is the
+/// scenario "targeted:maxnode".
+std::size_t run_max_degree_attack(
+    DistributedDashSim& sim,
+    std::size_t max_deletions = static_cast<std::size_t>(-1),
+    const std::function<bool(std::size_t)>& on_deletion = nullptr);
 
 }  // namespace dash::sim

@@ -1,6 +1,7 @@
 // observer_test.cpp -- the Observer pipeline: event delivery, the
-// ported measurement observers (invariants / stretch / recorder), and
-// their Metrics contributions at finish.
+// built-in measurement observers (invariants / stretch), lazy
+// per-round connectivity, and their Metrics contributions at finish.
+// Sink-fed output lives in sink_test.cpp.
 #include "api/observers.h"
 
 #include <gtest/gtest.h>
@@ -187,25 +188,6 @@ TEST(StretchObserver, JoinFreezesSamplingInsteadOfAborting) {
   EXPECT_EQ(stretch.max_stretch(), before);  // pre-join maximum kept
 }
 
-TEST(RecorderObserver, BatchRoundRowReportsBatchEdges) {
-  Rng rng(13);
-  Graph g = graph::barabasi_albert(32, 2, rng);
-  Network net(std::move(g), core::make_strategy("dash"), rng);
-  analysis::Recorder rec;
-  net.add_observer(std::make_unique<RecorderObserver>(rec));
-
-  const auto actions = net.remove_batch({0, 1, 2});
-  std::size_t batch_edges = 0;
-  for (const auto& a : actions) batch_edges += a.new_graph_edges.size();
-  ASSERT_GT(batch_edges, 0u);  // deleting the BA core forces healing
-
-  ASSERT_EQ(rec.rows().size(), 1u);
-  EXPECT_EQ(rec.rows()[0].round, 3u);  // one row covering 3 deletions
-  EXPECT_EQ(rec.rows()[0].deleted_node, 0u);
-  EXPECT_EQ(rec.rows()[0].edges_added, batch_edges);
-  EXPECT_EQ(rec.rows()[0].alive, 29u);
-}
-
 TEST(StretchObserver, SamplesOnlyOnSchedule) {
   auto net = make_net(24, 9);
   StretchObserver stretch(1000);  // never due at these round counts
@@ -218,63 +200,43 @@ TEST(StretchObserver, SamplesOnlyOnSchedule) {
   EXPECT_FALSE(stretch.sampled_last_round());
 }
 
-TEST(RecorderObserver, CapturesEveryRound) {
-  auto net = make_net(64, 10);
-  analysis::Recorder rec;
-  RecorderObserver recorder(rec);
-  net.add_observer(&recorder);
-  auto atk = attack::make_attack("neighborofmax", 10);
-  RunOptions opts;
-  opts.max_deletions = 15;
-  const Metrics m = net.run(*atk, opts);
-
-  ASSERT_EQ(rec.rows().size(), m.deletions);
-  // Rounds are 1-based and alive counts strictly decrease.
-  for (std::size_t i = 0; i < rec.rows().size(); ++i) {
-    EXPECT_EQ(rec.rows()[i].round, i + 1);
-    EXPECT_EQ(rec.rows()[i].alive, 64 - (i + 1));
-    EXPECT_EQ(rec.rows()[i].largest_component, 64 - (i + 1));
-  }
-}
-
-TEST(RecorderObserver, LogsStretchSamplesFromUpstreamObserver) {
-  auto net = make_net(32, 11);
-  // Producer before consumer: stretch samples land in the time series.
-  auto& stretch = static_cast<StretchObserver&>(
-      net.add_observer(std::make_unique<StretchObserver>(2)));
-  analysis::Recorder rec;
-  net.add_observer(std::make_unique<RecorderObserver>(rec, &stretch));
-  auto atk = attack::make_attack("neighborofmax", 11);
-  RunOptions opts;
-  opts.max_deletions = 6;
-  net.run(*atk, opts);
-
-  ASSERT_EQ(rec.rows().size(), 6u);
-  for (const auto& row : rec.rows()) {
-    if (row.round % 2 == 0) {
-      EXPECT_TRUE(row.stretch_sampled) << "round " << row.round;
-      EXPECT_GE(row.stretch, 1.0);
-    } else {
-      EXPECT_FALSE(row.stretch_sampled) << "round " << row.round;
-    }
-  }
-}
-
 TEST(SuiteConfigure, PerInstanceObserversContributeMetrics) {
   SuiteConfig cfg;
   cfg.make_graph = [](Rng& rng) {
     return graph::barabasi_albert(24, 2, rng);
   };
-  cfg.make_attacker = attacker_factory("maxnode");
   cfg.make_healer = healer_factory("dash");
+  cfg.scenario = Scenario().targeted("maxnode", 8);
   cfg.instances = 3;
-  cfg.run.max_deletions = 8;
   cfg.configure = [](Network& net) {
     net.add_observer(std::make_unique<StretchObserver>());
   };
   const auto results = run_suite(cfg, nullptr);
   ASSERT_EQ(results.size(), 3u);
   for (const auto& r : results) EXPECT_GE(r.max_stretch, 1.0);
+}
+
+TEST(LazyConnectivity, UncheckedRoundsSkipTheScan) {
+  // With no observer asking, rounds leave the event's connectivity
+  // cache empty; the engine still settles stayed_connected at finish.
+  class Peek final : public Observer {
+   public:
+    std::string name() const override { return "peek"; }
+    void on_round_end(const Network&, const RoundEvent& ev) override {
+      checked_before = ev.connectivity_checked();
+      (void)ev.connected();
+      checked_after = ev.connectivity_checked();
+    }
+    bool checked_before = true, checked_after = false;
+  };
+  auto net = make_net(24, 14);
+  Peek peek;
+  net.add_observer(&peek);
+  net.remove(net.graph().alive_nodes().front());
+  EXPECT_FALSE(peek.checked_before);  // nothing asked before us
+  EXPECT_TRUE(peek.checked_after);    // our ask computed + cached it
+  const Metrics m = net.finish();
+  EXPECT_TRUE(m.stayed_connected);
 }
 
 }  // namespace

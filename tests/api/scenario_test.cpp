@@ -1,0 +1,374 @@
+// scenario_test.cpp -- the declarative scenario layer: spec parsing
+// (round-trip, malformed inputs, registry errors), phase execution
+// semantics under Network::play, and sequential-vs-parallel
+// determinism of the scenario-driven run_suite.
+#include "api/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "api/api.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dash::api {
+namespace {
+
+using dash::util::Rng;
+using graph::Graph;
+using graph::NodeId;
+
+Network make_net(std::size_t n, std::uint64_t seed,
+                 const std::string& healer = "dash") {
+  Rng rng(seed);
+  Graph g = graph::barabasi_albert(n, 2, rng);
+  return Network(std::move(g), core::make_strategy(healer), rng);
+}
+
+std::string what_of(const std::string& spec) {
+  try {
+    Scenario::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "spec '" << spec << "' unexpectedly parsed";
+  return "";
+}
+
+// ---- parsing: canonical forms and round trips ------------------------
+
+TEST(ScenarioParse, IssueExampleRoundTrips) {
+  const auto sc = Scenario::parse("churn:0.3,0.1x500;batch:8x50");
+  EXPECT_EQ(sc.size(), 2u);
+  EXPECT_EQ(sc.spec(), "churn:0.3,0.1x500;batch:8,hubsx50");
+  // The canonical form is a fixed point of parse().
+  EXPECT_EQ(Scenario::parse(sc.spec()).spec(), sc.spec());
+}
+
+TEST(ScenarioParse, EveryPhaseKindRoundTrips) {
+  const std::string canon =
+      "strike:maxnodex5;batch:4,randomx3;churn:0.5,0.25,3x10;"
+      "targeted:neighborofmaxx7;until:16,maxnode;"
+      "repeat:2{strike:randomx1;floor:4};floor:2";
+  const auto sc = Scenario::parse(canon);
+  EXPECT_EQ(sc.spec(), canon);
+  EXPECT_EQ(Scenario::parse(sc.spec()).spec(), canon);
+}
+
+TEST(ScenarioParse, ShorthandsNormalize) {
+  EXPECT_EQ(Scenario::parse("strike").spec(), "strike:maxnodex1");
+  EXPECT_EQ(Scenario::parse("strike:40").spec(), "strike:maxnodex40");
+  EXPECT_EQ(Scenario::parse("strike:randomx3").spec(), "strike:randomx3");
+  EXPECT_EQ(Scenario::parse("targeted").spec(), "targeted:maxnode");
+  EXPECT_EQ(Scenario::parse("batch:8").spec(), "batch:8,hubs");
+  EXPECT_EQ(Scenario::parse("until:10").spec(), "until:10,maxnode");
+  // Aliases and case-insensitive names resolve to the same phases.
+  EXPECT_EQ(Scenario::parse("DELETE:3").spec(), "strike:maxnodex3");
+  EXPECT_EQ(Scenario::parse("batch_strike:2x1").spec(), "batch:2,hubsx1");
+  EXPECT_EQ(Scenario::parse("run:maxnode").spec(), "targeted:maxnode");
+}
+
+TEST(ScenarioParse, BuilderMatchesParsedSpec) {
+  const auto built = Scenario()
+                         .churn(0.3, 0.1, 500)
+                         .batch_strike(8, 50)
+                         .targeted("neighborofmax", 7)
+                         .floor(2)
+                         .spec();
+  EXPECT_EQ(built, Scenario::parse(built).spec());
+  EXPECT_EQ(built,
+            "churn:0.3,0.1x500;batch:8,hubsx50;targeted:neighborofmaxx7;"
+            "floor:2");
+}
+
+TEST(ScenarioParse, ScenarioIsACopyableValue) {
+  const auto a = Scenario::parse("strike:3;churn:1,0x2");
+  Scenario b = a;  // deep copy
+  b.strike(1, "random");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.spec(), "strike:maxnodex3;churn:1,0x2");
+}
+
+// ---- parsing: malformed specs ---------------------------------------
+
+TEST(ScenarioParse, EmptyPhasesAreRejected) {
+  EXPECT_THROW(Scenario::parse(""), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("strike;;strike"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse(";strike"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("strike:"), std::invalid_argument);
+}
+
+TEST(ScenarioParse, ZeroCountsAreRejected) {
+  EXPECT_THROW(Scenario::parse("strike:0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("strike:maxnodex0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("batch:0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("batch:4x0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:0.5,0.5x0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("repeat:0{strike}"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("until:0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("floor:0"), std::invalid_argument);
+}
+
+TEST(ScenarioParse, UnknownPhaseListsRegisteredSpellings) {
+  const std::string msg = what_of("shake:3");
+  for (const char* expected :
+       {"strike", "batch", "churn", "targeted", "until", "repeat",
+        "floor"}) {
+    EXPECT_NE(msg.find(expected), std::string::npos)
+        << "error should list '" << expected << "': " << msg;
+  }
+}
+
+TEST(ScenarioParse, ChurnValidatesRatesAndCount) {
+  EXPECT_THROW(Scenario::parse("churn:0.5,0.5"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:1.5,0x3"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:-0.1,0x3"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:abc,0x3"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:0.5x3"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("churn:0.5,0.5,0x3"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParse, UnknownAttackNamesFailAtParseTime) {
+  // Attack specs resolve through attack_registry() when a phase runs,
+  // but the spelling is validated when the scenario is built so the
+  // error surfaces where the spec was written.
+  EXPECT_THROW(Scenario::parse("targeted:nosuchattack"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("strike:nosuchattackx3"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("strike:40x5"),  // "40" is not an attack
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("until:5,nosuchattack"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario().targeted("nosuchattack"),
+               std::invalid_argument);
+  const std::string msg = what_of("targeted:nosuchattack");
+  EXPECT_NE(msg.find("maxnode"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, MalformedStructuresAreRejected) {
+  EXPECT_THROW(Scenario::parse("batch:4,sideways"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("repeat:2{strike"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("repeat:2strike}"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("until:many"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("floor:two"), std::invalid_argument);
+}
+
+// ---- play semantics ---------------------------------------------------
+
+TEST(ScenarioPlay, StrikeDeletesExactlyCount) {
+  auto net = make_net(32, 1);
+  const auto m = net.play(Scenario::parse("strike:5"), 1);
+  EXPECT_EQ(m.deletions, 5u);
+  EXPECT_EQ(net.graph().num_alive(), 27u);
+}
+
+TEST(ScenarioPlay, TargetedRunsToSingleNodeAndRespectsCap) {
+  auto full = make_net(64, 2);
+  const auto mf = full.play(Scenario::parse("targeted:neighborofmax"), 2);
+  EXPECT_EQ(mf.deletions, 63u);
+  EXPECT_TRUE(mf.stayed_connected);
+
+  auto capped = make_net(64, 2);
+  const auto mc =
+      capped.play(Scenario::parse("targeted:neighborofmaxx7"), 2);
+  EXPECT_EQ(mc.deletions, 7u);
+}
+
+TEST(ScenarioPlay, UntilLeavesExactlyN) {
+  auto net = make_net(64, 3);
+  net.play(Scenario::parse("until:10"), 3);
+  EXPECT_EQ(net.graph().num_alive(), 10u);
+}
+
+TEST(ScenarioPlay, FloorStopsDeletions) {
+  auto net = make_net(32, 4);
+  const auto m = net.play(Scenario::parse("floor:20;targeted:maxnode"), 4);
+  EXPECT_EQ(net.graph().num_alive(), 20u);
+  EXPECT_EQ(m.deletions, 12u);
+}
+
+TEST(ScenarioPlay, BatchRoundsDeleteKPerRound) {
+  auto net = make_net(48, 5);
+  const auto m = net.play(Scenario::parse("batch:4x3"), 5);
+  EXPECT_EQ(m.deletions, 12u);
+  EXPECT_TRUE(m.stayed_connected);
+}
+
+TEST(ScenarioPlay, UnboundedBatchLeavesAtMostK) {
+  auto net = make_net(33, 6);
+  net.play(Scenario::parse("batch:8,random"), 6);
+  // 33 -> 25 -> 17 -> 9; a further batch of 8 would leave 1 >= floor,
+  // so it runs too.
+  EXPECT_EQ(net.graph().num_alive(), 1u);
+}
+
+TEST(ScenarioPlay, ChurnFullRatesJoinAndLeaveEveryTick) {
+  auto net = make_net(16, 7);
+  const auto m = net.play(Scenario::parse("churn:1,1x10"), 7);
+  EXPECT_EQ(m.joins, 10u);
+  EXPECT_EQ(m.deletions, 10u);
+  EXPECT_EQ(net.graph().num_alive(), 16u);
+}
+
+TEST(ScenarioPlay, RepeatMultipliesItsBody) {
+  auto net = make_net(64, 8);
+  const auto m =
+      net.play(Scenario::parse("repeat:3{strike:2;churn:1,0x1}"), 8);
+  EXPECT_EQ(m.deletions, 6u);
+  EXPECT_EQ(m.joins, 3u);
+}
+
+TEST(ScenarioPlay, CustomAttackerFactoryDrivesTargetedPhase) {
+  // A caller-owned adversary (the LevelAttack pattern) borrowed into
+  // the scenario through a factory.
+  class FirstAlive final : public attack::AttackStrategy {
+   public:
+    std::string name() const override { return "first-alive"; }
+    NodeId select(const Graph& g, const core::HealingState&) override {
+      ++selections;
+      return g.alive_nodes().front();
+    }
+    std::unique_ptr<attack::AttackStrategy> clone() const override {
+      return std::make_unique<FirstAlive>(*this);
+    }
+    int selections = 0;
+  };
+
+  FirstAlive atk;
+  const auto sc = Scenario().targeted(
+      [&atk](std::uint64_t) {
+        return std::make_unique<attack::BorrowedAttack>(atk);
+      },
+      "first-alive", 4);
+  EXPECT_EQ(sc.spec(), "targeted:<first-alive>x4");
+
+  auto net = make_net(24, 9);
+  const auto m = net.play(sc, 9);
+  EXPECT_EQ(m.deletions, 4u);
+  EXPECT_EQ(atk.selections, 4);
+}
+
+TEST(ScenarioPlay, StopConditionEndsThePlayMidPhase) {
+  auto net = make_net(64, 15);
+  PlayOptions opts;
+  opts.stop_condition = [](const Network& engine) {
+    return engine.graph().num_alive() <= 32;
+  };
+  const auto m =
+      net.play(Scenario::parse("targeted:maxnode"), 15, opts);
+  EXPECT_EQ(net.graph().num_alive(), 32u);
+  EXPECT_EQ(m.deletions, 32u);
+}
+
+TEST(ScenarioPlay, SameSeedSameMetrics) {
+  const auto sc = Scenario::parse("churn:0.6,0.4x40;batch:3x2;until:5");
+  auto a = make_net(48, 10);
+  auto b = make_net(48, 10);
+  const auto ma = a.play(sc, 77);
+  const auto mb = b.play(sc, 77);
+  EXPECT_EQ(ma.deletions, mb.deletions);
+  EXPECT_EQ(ma.joins, mb.joins);
+  EXPECT_EQ(ma.max_delta, mb.max_delta);
+  EXPECT_EQ(ma.edges_added, mb.edges_added);
+  EXPECT_EQ(ma.max_messages, mb.max_messages);
+}
+
+// ---- suite determinism -------------------------------------------------
+
+SuiteConfig churny_suite() {
+  SuiteConfig cfg;
+  cfg.make_graph = [](Rng& rng) {
+    return graph::barabasi_albert(40, 2, rng);
+  };
+  cfg.make_healer = healer_factory("dash");
+  cfg.scenario = Scenario::parse("churn:0.5,0.3x30;batch:3x2;until:8");
+  cfg.instances = 8;
+  cfg.base_seed = 0xFEED;
+  return cfg;
+}
+
+TEST(RunSuite, SequentialAndParallelMetricsAreIdentical) {
+  const auto cfg = churny_suite();
+  const auto serial = run_suite(cfg, nullptr);
+  dash::util::ThreadPool pool(4);
+  const auto parallel = run_suite(cfg, &pool);
+
+  ASSERT_EQ(serial.size(), 8u);
+  ASSERT_EQ(parallel.size(), 8u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].deletions, parallel[i].deletions) << i;
+    EXPECT_EQ(serial[i].joins, parallel[i].joins) << i;
+    EXPECT_EQ(serial[i].max_delta, parallel[i].max_delta) << i;
+    EXPECT_EQ(serial[i].max_id_changes, parallel[i].max_id_changes) << i;
+    EXPECT_EQ(serial[i].max_messages, parallel[i].max_messages) << i;
+    EXPECT_EQ(serial[i].max_messages_sent,
+              parallel[i].max_messages_sent)
+        << i;
+    EXPECT_EQ(serial[i].edges_added, parallel[i].edges_added) << i;
+    EXPECT_EQ(serial[i].surrogate_heals, parallel[i].surrogate_heals)
+        << i;
+    EXPECT_EQ(serial[i].max_stretch, parallel[i].max_stretch) << i;
+    EXPECT_EQ(serial[i].stayed_connected, parallel[i].stayed_connected)
+        << i;
+    EXPECT_EQ(serial[i].violation, parallel[i].violation) << i;
+  }
+}
+
+TEST(RunSuite, SequentialAndParallelSinkBytesAreIdentical) {
+  // The acceptance bar: the full streamed output -- every row and
+  // every run summary -- is byte-identical whatever the worker count.
+  auto run_to_string = [](dash::util::ThreadPool* pool) {
+    std::ostringstream out;
+    CsvStreamSink csv(out);
+    auto cfg = churny_suite();
+    cfg.sinks.push_back(&csv);
+    cfg.record_rows = true;
+    run_suite(cfg, pool);
+    csv.flush();
+    return out.str();
+  };
+  const std::string serial = run_to_string(nullptr);
+  dash::util::ThreadPool pool(4);
+  const std::string parallel = run_to_string(&pool);
+  EXPECT_GT(serial.size(), 0u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(RunSuite, DifferentSeedsDiffer) {
+  auto cfg = churny_suite();
+  cfg.instances = 4;
+  cfg.base_seed = 1;
+  const auto a = run_suite(cfg, nullptr);
+  cfg.base_seed = 2;
+  const auto b = run_suite(cfg, nullptr);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= (a[i].edges_added != b[i].edges_added) ||
+                (a[i].max_messages != b[i].max_messages);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RunSuite, InspectSeesFinalStatesInOrder) {
+  auto cfg = churny_suite();
+  cfg.instances = 3;
+  std::vector<std::size_t> order;
+  cfg.inspect = [&order](std::size_t i, const Network& net,
+                         const Metrics& m) {
+    order.push_back(i);
+    EXPECT_EQ(net.state().max_delta_ever(), m.max_delta);
+    EXPECT_EQ(net.rounds(), m.deletions);
+  };
+  dash::util::ThreadPool pool(3);
+  run_suite(cfg, &pool);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dash::api

@@ -7,7 +7,6 @@
 #include <cmath>
 #include <memory>
 
-#include "analysis/experiment.h"
 #include "api/api.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -89,8 +88,8 @@ double mean_max_delta(const char* healer, std::size_t n,
   cfg.make_graph = [n](Rng& rng) {
     return graph::barabasi_albert(n, 2, rng);
   };
-  cfg.make_attacker = api::attacker_factory("neighborofmax");
   cfg.make_healer = api::healer_factory(healer);
+  cfg.scenario = api::Scenario().targeted("neighborofmax");
   cfg.instances = instances;
   cfg.base_seed = 0x5EED;
   const auto results = api::run_suite(cfg, nullptr);

@@ -6,7 +6,6 @@
 #include <cmath>
 
 #include "../test_helpers.h"
-#include "analysis/experiment.h"
 #include "attack/factory.h"
 #include "core/factory.h"
 #include "graph/generators.h"
@@ -109,11 +108,9 @@ TEST_P(Theorem1Seeds, DegreeBoundNeverViolated) {
   const std::uint64_t seed = GetParam();
   Rng rng(seed);
   Graph g = graph::barabasi_albert(96, 2, rng);
-  HealingState st(g, rng);
-  auto attacker = attack::make_attack("neighborofmax", seed);
-  auto healer = core::make_strategy("dash");
-  analysis::ScheduleConfig cfg;
-  const auto r = analysis::run_schedule(g, st, *attacker, *healer, cfg);
+  api::Network net(std::move(g), core::make_strategy("dash"), rng);
+  const auto r =
+      net.play(api::Scenario().targeted("neighborofmax"), seed);
   EXPECT_TRUE(r.stayed_connected);
   EXPECT_LE(static_cast<double>(r.max_delta),
             2.0 * std::log2(96.0) + 1e-9);
