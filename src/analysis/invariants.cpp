@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/dynamic_connectivity.h"
 #include "graph/traversal.h"
 
 namespace dash::analysis {
@@ -114,6 +115,43 @@ Check check_delta_bound(const HealingState& state, std::size_t n) {
   if (max_delta <= bound + 1e-9) return Check::pass();
   return Check::fail("max delta " + std::to_string(max_delta) +
                      " exceeds 2 log2 n = " + std::to_string(bound));
+}
+
+Check check_component_tracker(const Graph& g,
+                              graph::DynamicConnectivity& tracker) {
+  const graph::Components truth = graph::connected_components(g);
+  if (tracker.component_count() != truth.count()) {
+    return Check::fail("tracker counts " +
+                       std::to_string(tracker.component_count()) +
+                       " components, BFS counts " +
+                       std::to_string(truth.count()));
+  }
+  if (tracker.largest_component() != truth.largest()) {
+    return Check::fail("tracker largest component " +
+                       std::to_string(tracker.largest_component()) +
+                       " != BFS largest " + std::to_string(truth.largest()));
+  }
+  // Each BFS class must sit inside one tracker class with the right
+  // size; with equal class counts that makes the partitions identical.
+  std::vector<NodeId> rep(truth.count(), graph::kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.alive(v)) continue;
+    const std::uint32_t label = truth.label[v];
+    if (rep[label] == graph::kInvalidNode) {
+      rep[label] = v;
+      if (tracker.component_size(v) != truth.sizes[label]) {
+        return Check::fail("tracker sizes component of node " +
+                           std::to_string(v) + " as " +
+                           std::to_string(tracker.component_size(v)) +
+                           ", BFS as " + std::to_string(truth.sizes[label]));
+      }
+    } else if (!tracker.same_component(v, rep[label])) {
+      return Check::fail("tracker splits BFS-connected nodes " +
+                         std::to_string(v) + " and " +
+                         std::to_string(rep[label]));
+    }
+  }
+  return Check::pass();
 }
 
 }  // namespace dash::analysis

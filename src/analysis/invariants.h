@@ -8,6 +8,10 @@
 #include "core/healing_state.h"
 #include "core/strategy.h"
 
+namespace dash::graph {
+class DynamicConnectivity;
+}
+
 namespace dash::analysis {
 
 using core::DeletionContext;
@@ -58,5 +62,12 @@ Check check_healing_subgraph(const Graph& g, const HealingState& state);
 /// Bookkeeping identity: delta(v) == degree_now(v) - initial_degree(v)
 /// for every alive node.
 Check check_delta_consistency(const Graph& g, const HealingState& state);
+
+/// Differential check for the incremental connectivity subsystem: the
+/// tracker's component structure (count, largest size, and the full
+/// alive-node partition) matches a fresh BFS labelling of `g`. Non-const
+/// tracker: queries flush its lazy re-scan.
+Check check_component_tracker(const Graph& g,
+                              graph::DynamicConnectivity& tracker);
 
 }  // namespace dash::analysis

@@ -1,5 +1,7 @@
 #include "api/network.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "core/batch.h"
@@ -14,11 +16,34 @@ using core::HealingState;
 using graph::Graph;
 using graph::NodeId;
 
+namespace {
+
+/// DASH_VERIFY_CONNECTIVITY=1 flips every owning engine into kVerify:
+/// each tracker answer is cross-checked against the BFS scan.
+bool env_verify_connectivity() {
+  static const bool on = [] {
+    const char* v = std::getenv("DASH_VERIFY_CONNECTIVITY");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
+
+}  // namespace
+
 bool RoundEvent::connected() const {
   if (!connected_.has_value()) {
-    // Events detached from an engine (unit-test fixtures) default to
-    // connected; engine-emitted events carry their graph.
-    connected_ = graph_ == nullptr || graph::is_connected(*graph_);
+    if (tracker_ != nullptr) {
+      const bool fast = tracker_->connected();
+      if (verify_) {
+        DASH_CHECK_MSG(fast == graph::is_connected(*graph_),
+                       "DynamicConnectivity disagrees with the BFS scan");
+      }
+      connected_ = fast;
+    } else {
+      // Events detached from an engine (unit-test fixtures) default to
+      // connected; engine-emitted events carry their graph.
+      connected_ = graph_ == nullptr || graph::is_connected(*graph_);
+    }
   }
   return *connected_;
 }
@@ -33,6 +58,7 @@ Network::Network(Graph g, std::unique_ptr<core::HealingStrategy> healer,
   owned_state_.emplace(*g_, rng);
   state_ = &*owned_state_;
   initial_size_ = g_->num_alive();
+  init_tracker();
 }
 
 Network::Network(Graph g, const std::string& healer_spec,
@@ -45,12 +71,35 @@ Network::Network(Graph g, const std::string& healer_spec,
   owned_state_.emplace(*g_, rng);
   state_ = &*owned_state_;
   initial_size_ = g_->num_alive();
+  init_tracker();
 }
 
 Network::Network(Graph& g, HealingState& state,
                  core::HealingStrategy& healer)
     : g_(&g), state_(&state), healer_(&healer) {
   initial_size_ = g_->num_alive();
+  // Borrowed graphs may be mutated externally between events, which
+  // would desync an incremental tracker: stay on the BFS path.
+}
+
+void Network::init_tracker() {
+  tracker_.emplace(*g_);
+  conn_mode_ = env_verify_connectivity() ? ConnectivityMode::kVerify
+                                         : ConnectivityMode::kTracker;
+}
+
+void Network::set_connectivity_mode(ConnectivityMode mode) {
+  DASH_CHECK_MSG(mode == ConnectivityMode::kBfs || tracker_.has_value(),
+                 "tracker modes need an owning engine");
+  // The env debug flag outranks programmatic tracker requests, so a
+  // DASH_VERIFY_CONNECTIVITY=1 run cross-checks even suites that
+  // configure their own modes (answers are identical either way; only
+  // an explicit kBfs stays plain -- it is the reference side of the
+  // differential).
+  if (mode == ConnectivityMode::kTracker && env_verify_connectivity()) {
+    mode = ConnectivityMode::kVerify;
+  }
+  conn_mode_ = mode;
 }
 
 void Network::attach(Observer* obs) {
@@ -80,7 +129,14 @@ void Network::notify_round_begin(std::size_t round) {
 }
 
 void Network::finish_round(RoundEvent& ev) {
+  // Events are engine-constructed for exactly one round; a verdict
+  // cached this early would be another round's answer leaking through.
+  DASH_CHECK_MSG(!ev.connectivity_checked(),
+                 "stale RoundEvent::connected cache leaked across rounds");
   ev.graph_ = g_;
+  ev.tracker_ =
+      conn_mode_ != ConnectivityMode::kBfs ? &*tracker_ : nullptr;
+  ev.verify_ = conn_mode_ == ConnectivityMode::kVerify;
   if (force_connectivity_checks_) (void)ev.connected();
   if (ev.ctx != nullptr) {
     for (Observer* obs : observers_) obs->on_heal(*this, ev);
@@ -103,6 +159,14 @@ HealAction Network::remove(NodeId v) {
   DASH_CHECK(removed_neighbors == ctx.neighbors_g);
 
   const HealAction action = healer_->heal(*g_, *state_, ctx);
+
+  if (tracker_.has_value()) {
+    for (const auto& [a, b] : action.new_graph_edges) {
+      tracker_->edge_added(a, b);
+    }
+    tracker_->node_removed(v, ctx.neighbors_g,
+                           !survivors_reconnected(ctx.neighbors_g));
+  }
 
   ++engine_.deletions;
   engine_.edges_added += action.new_graph_edges.size();
@@ -131,6 +195,25 @@ std::vector<HealAction> Network::remove_batch(
 
   const auto actions = core::dash_heal_batch(*g_, *state_, ctx);
 
+  if (tracker_.has_value()) {
+    for (const auto& action : actions) {
+      for (const auto& [a, b] : action.new_graph_edges) {
+        tracker_->edge_added(a, b);
+      }
+    }
+    // Seeds for the lazy re-scan: every remnant of the touched
+    // components holds a surviving neighbor of some cluster.
+    std::vector<NodeId> survivors;
+    for (const auto& cluster : ctx.clusters) {
+      survivors.insert(survivors.end(), cluster.survivor_neighbors.begin(),
+                       cluster.survivor_neighbors.end());
+    }
+    std::sort(survivors.begin(), survivors.end());
+    survivors.erase(std::unique(survivors.begin(), survivors.end()),
+                    survivors.end());
+    tracker_->batch_removed(batch, survivors);
+  }
+
   engine_.deletions += batch.size();
   std::size_t round_edges = 0;
   for (const auto& action : actions) {
@@ -150,6 +233,10 @@ std::vector<HealAction> Network::remove_batch(
 
 NodeId Network::join(const std::vector<NodeId>& attach_to) {
   const NodeId joined = state_->join_node(*g_, attach_to);
+  if (tracker_.has_value()) {
+    tracker_->node_added(joined);
+    for (NodeId t : attach_to) tracker_->edge_added(joined, t);
+  }
   ++engine_.joins;
   if (attach_to.empty() && g_->num_alive() > 1) {
     // An unattached newcomer is its own component.
@@ -179,17 +266,74 @@ Metrics Network::run(attack::AttackStrategy& attacker,
   return finish();
 }
 
+bool Network::survivors_reconnected(
+    const std::vector<NodeId>& survivors) const {
+  if (survivors.size() < 2) return true;
+  // One shared post-heal component id places every survivor in one
+  // healing-forest component, whose edges all exist in G among alive
+  // nodes (E' subset of E) -- so the survivors are mutually reachable
+  // without the deleted node. This trusts exactly the id invariants
+  // the InvariantObserver battery verifies (check_component_ids,
+  // check_healing_subgraph); kVerify cross-checks the conclusion
+  // against the scan.
+  const std::uint64_t id = state_->component_id(survivors.front());
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    if (state_->component_id(survivors[i]) != id) return false;
+  }
+  return true;
+}
+
+bool Network::current_connected() const {
+  if (conn_mode_ == ConnectivityMode::kBfs) {
+    return graph::is_connected(*g_);
+  }
+  const bool fast = tracker_->connected();
+  if (conn_mode_ == ConnectivityMode::kVerify) {
+    DASH_CHECK_MSG(fast == graph::is_connected(*g_),
+                   "DynamicConnectivity disagrees with the BFS scan");
+  }
+  return fast;
+}
+
+std::pair<std::size_t, std::size_t> Network::component_snapshot() const {
+  if (conn_mode_ == ConnectivityMode::kBfs) {
+    const graph::Components comps = graph::connected_components(*g_);
+    return {comps.count(), comps.largest()};
+  }
+  const std::pair<std::size_t, std::size_t> fast{
+      tracker_->component_count(), tracker_->largest_component()};
+  if (conn_mode_ == ConnectivityMode::kVerify) {
+    const graph::Components comps = graph::connected_components(*g_);
+    DASH_CHECK_MSG(fast.first == comps.count() &&
+                       fast.second == comps.largest(),
+                   "DynamicConnectivity component structure disagrees "
+                   "with the BFS labelling");
+  }
+  return fast;
+}
+
+std::size_t Network::component_count() const {
+  return component_snapshot().first;
+}
+
+std::size_t Network::largest_component() const {
+  return component_snapshot().second;
+}
+
 Metrics Network::metrics() const {
   Metrics m = engine_;
   m.max_delta = state_->max_delta_ever();
   m.max_id_changes = state_->max_id_changes();
   m.max_messages = state_->max_messages();
   m.max_messages_sent = state_->max_messages_sent();
+  const auto [components, largest] = component_snapshot();
+  m.components = components;
+  m.largest_component = largest;
   return m;
 }
 
 Metrics Network::finish() {
-  // Rounds nobody inspected skipped their connectivity scan; settle
+  // Rounds nobody inspected skipped their connectivity check; settle
   // the account with one final check of the *current* network. Note
   // this is a present-state check only: a run whose rounds all went
   // unobserved can have disconnected mid-way and been ground down to a
@@ -198,7 +342,7 @@ Metrics Network::finish() {
   // must ask per round, via stop_when_disconnected or an observer that
   // reads RoundEvent::connected().
   if (engine_.stayed_connected && g_->num_alive() > 1 &&
-      !graph::is_connected(*g_)) {
+      !current_connected()) {
     engine_.stayed_connected = false;
     last_connected_ = false;
   }

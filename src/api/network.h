@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/metrics.h"
@@ -27,6 +28,7 @@
 #include "attack/strategy.h"
 #include "core/healing_state.h"
 #include "core/strategy.h"
+#include "graph/dynamic_connectivity.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -34,6 +36,25 @@ namespace dash::api {
 
 class Scenario;
 struct PlayOptions;
+
+/// How the engine answers connectivity and component queries
+/// (RoundEvent::connected(), component_count(), largest_component(),
+/// the Metrics component fields, and the finish() check).
+enum class ConnectivityMode {
+  /// Incremental graph::DynamicConnectivity tracker (the default for
+  /// owning engines): O(alpha) per certified round, one re-scan of the
+  /// affected component per uncertified round.
+  kTracker,
+  /// Full BFS scan per ask -- the pre-tracker cost model. Forced for
+  /// borrowed engines (external code may mutate the graph behind the
+  /// engine's back) and kept as the differential-testing reference.
+  kBfs,
+  /// Tracker answers with every answer cross-checked against the BFS
+  /// scan (DASH_CHECK on divergence). The debug verify flag; also
+  /// switched on by setting DASH_VERIFY_CONNECTIVITY=1 in the
+  /// environment.
+  kVerify,
+};
 
 struct RunOptions {
   /// Maximum deletions for this run() call (counted across calls; by
@@ -139,6 +160,31 @@ class Network {
   /// (checks are lazy; see RoundEvent::connected()).
   bool stayed_connected() const { return engine_.stayed_connected; }
 
+  // ---- connectivity / component structure ----------------------------
+
+  /// Switch how connectivity/component queries are answered. Tracker
+  /// modes (kTracker, kVerify) require an owning engine: borrowed
+  /// graphs can be mutated externally, which would silently desync the
+  /// incremental tracker, so borrowed engines are pinned to kBfs.
+  void set_connectivity_mode(ConnectivityMode mode);
+  ConnectivityMode connectivity_mode() const { return conn_mode_; }
+
+  /// Number of components among alive nodes (0 when none are alive).
+  /// O(alpha) amortized in tracker mode, one BFS labelling in kBfs.
+  std::size_t component_count() const;
+  /// Size of the largest component (0 when no nodes are alive).
+  std::size_t largest_component() const;
+  /// (component count, largest size) in one ask -- in kBfs mode a
+  /// single labelling serves both, so per-round samplers should prefer
+  /// this over two separate calls.
+  std::pair<std::size_t, std::size_t> component_snapshot() const;
+
+  /// The engine's tracker, for instrumentation (rebuild counters);
+  /// null for borrowed engines.
+  const graph::DynamicConnectivity* connectivity_tracker() const {
+    return tracker_ ? &*tracker_ : nullptr;
+  }
+
   /// Engine-maintained metrics refreshed from the healing state, with
   /// no observer contributions (use finish() for those).
   Metrics metrics() const;
@@ -147,6 +193,14 @@ class Network {
   void attach(Observer* obs);
   void notify_round_begin(std::size_t round);
   void finish_round(RoundEvent& ev);
+  void init_tracker();
+  /// The healing-forest certificate for one deletion: every survivor
+  /// carries the same post-heal component id, i.e. one G'-tree
+  /// reconnects them all without the deleted node.
+  bool survivors_reconnected(const std::vector<graph::NodeId>& survivors)
+      const;
+  /// Current connectivity via the active mode (tracker / scan / both).
+  bool current_connected() const;
 
   std::optional<graph::Graph> owned_g_;
   std::optional<core::HealingState> owned_state_;
@@ -162,8 +216,14 @@ class Network {
   std::size_t initial_size_ = 0;
   bool last_connected_ = true;
   /// When set (run() with stop_when_disconnected), every round pays for
-  /// the connectivity scan even if no observer asks.
+  /// the connectivity check even if no observer asks.
   bool force_connectivity_checks_ = false;
+  /// Incremental component tracker, kept in sync with every engine
+  /// mutation for owning engines regardless of mode (so modes can be
+  /// switched mid-run); absent for borrowed engines. Mutable: queries
+  /// flush its lazy re-scan without changing observable state.
+  mutable std::optional<graph::DynamicConnectivity> tracker_;
+  ConnectivityMode conn_mode_ = ConnectivityMode::kBfs;
 };
 
 }  // namespace dash::api

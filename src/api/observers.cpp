@@ -39,22 +39,50 @@ void InvariantObserver::run_battery(const Network& net,
 
 void InvariantObserver::on_round_end(const Network& net,
                                      const RoundEvent& ev) {
-  // The battery implies the connectivity guarantee; asking the event
-  // triggers the (lazy) scan, which the engine also folds into
-  // Metrics::stayed_connected.
+  // The connectivity guarantee is checked every round -- asking the
+  // event is O(alpha) on tracker-mode engines, and the engine folds
+  // the answer into Metrics::stayed_connected.
   if (violation_.empty() && !ev.connected()) {
     violation_ = "network disconnected after round " +
                  std::to_string(ev.round);
   }
-  run_battery(net, &ev);
+  if (opts_.battery_every != 0 && ev.round % opts_.battery_every == 0) {
+    run_battery(net, &ev);
+  }
 }
 
 void InvariantObserver::on_join(const Network& net, const JoinEvent&) {
-  run_battery(net, nullptr);
+  // Joins have no round counter to gate on: at the default cadence they
+  // keep their per-event battery; any amortized cadence skips them
+  // (the every-k-rounds batteries and the on_finish sweep cover it).
+  if (opts_.battery_every == 1) run_battery(net, nullptr);
 }
 
-void InvariantObserver::on_finish(const Network&, Metrics& out) {
+void InvariantObserver::on_finish(const Network& net, Metrics& out) {
+  // A cadence that skipped rounds still gets one end-state sweep.
+  if (opts_.battery_every != 1) run_battery(net, nullptr);
   if (out.violation.empty()) out.violation = violation_;
+}
+
+// ---- ComponentObserver ----------------------------------------------
+
+void ComponentObserver::sample(const Network& net) {
+  const auto [count, largest] = net.component_snapshot();
+  count_ = count;
+  largest_ = largest;
+  max_components_ = std::max(max_components_, count_);
+  min_largest_ = std::min(min_largest_, largest_);
+}
+
+void ComponentObserver::on_attach(const Network& net) { sample(net); }
+
+void ComponentObserver::on_round_end(const Network& net,
+                                     const RoundEvent&) {
+  sample(net);
+}
+
+void ComponentObserver::on_join(const Network& net, const JoinEvent&) {
+  sample(net);
 }
 
 // ---- StretchObserver ------------------------------------------------

@@ -1,7 +1,10 @@
 // observers.h -- the built-in measurement observers:
 //
 //   InvariantObserver -- the full per-round invariant battery
-//                        (+ optional DASH-only rem / delta bounds)
+//                        (+ optional DASH-only rem / delta bounds),
+//                        amortizable via InvariantOptions::battery_every
+//   ComponentObserver -- per-round component count / largest component
+//                        via the engine's incremental tracker
 //   StretchObserver   -- Fig. 10 stretch sampling against the time-0
 //                        network
 //
@@ -13,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -28,6 +32,15 @@ struct InvariantOptions {
   bool check_rem_bound = false;
   /// Theorem-1 delta <= 2 log2 n bound; proven for DASH only, opt-in.
   bool check_delta_bound = false;
+  /// Cadence of the full O(n+m) battery: 1 (default) runs it every
+  /// round and every join; k > 1 amortizes it over every k-th round
+  /// (joins skipped); 0 disables the periodic battery entirely. The
+  /// per-round *connectivity* ask is unaffected -- it always happens
+  /// and is O(alpha) on engines in tracker mode. Whenever the cadence
+  /// skips events (anything but 1), a final battery sweep still runs
+  /// in on_finish, so end-state violations are never missed; only
+  /// per-event locality records of skipped events go unchecked.
+  std::size_t battery_every = 1;
 };
 
 /// Evaluates the invariant battery after every round (and every join);
@@ -53,6 +66,36 @@ class InvariantObserver final : public Observer {
   InvariantOptions opts_;
   std::size_t initial_size_ = 0;
   std::string violation_;
+};
+
+/// Samples the component structure (count + largest component) after
+/// every round and join through the engine's component queries --
+/// incremental-tracker-backed for owning engines, one BFS labelling
+/// per ask in kBfs mode, identical values either way. Tracks the
+/// extremes over the run: peak fragmentation and the smallest
+/// largest-component seen (both including the initial state).
+class ComponentObserver final : public Observer {
+ public:
+  std::string name() const override { return "components"; }
+  void on_attach(const Network& net) override;
+  void on_round_end(const Network& net, const RoundEvent& ev) override;
+  void on_join(const Network& net, const JoinEvent& ev) override;
+
+  /// Component count / largest size after the last observed event.
+  std::size_t count() const { return count_; }
+  std::size_t largest() const { return largest_; }
+  /// Max component count ever observed (1 while the network heals).
+  std::size_t max_components_seen() const { return max_components_; }
+  /// Min largest-component size ever observed.
+  std::size_t min_largest_seen() const { return min_largest_; }
+
+ private:
+  void sample(const Network& net);
+
+  std::size_t count_ = 0;
+  std::size_t largest_ = 0;
+  std::size_t max_components_ = 0;
+  std::size_t min_largest_ = std::numeric_limits<std::size_t>::max();
 };
 
 /// Samples the Section 4.6.1 stretch metric against the time-0 network

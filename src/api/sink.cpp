@@ -5,7 +5,6 @@
 
 #include "api/network.h"
 #include "api/observers.h"
-#include "graph/traversal.h"
 #include "util/stats.h"
 
 namespace dash::api {
@@ -88,6 +87,12 @@ summary_fields() {
          return static_cast<double>(m.surrogate_heals);
        }},
       {"max_stretch", [](const Metrics& m) { return m.max_stretch; }},
+      {"components",
+       [](const Metrics& m) { return static_cast<double>(m.components); }},
+      {"largest_component",
+       [](const Metrics& m) {
+         return static_cast<double>(m.largest_component);
+       }},
   };
   return fields;
 }
@@ -184,8 +189,9 @@ void SinkObserver::on_round_end(const Network& net, const RoundEvent& ev) {
   row.edges = net.graph().num_edges();
   row.edges_added = ev.edges_added;
   row.max_delta = net.state().max_delta_ever();
-  row.largest_component =
-      graph::connected_components(net.graph()).largest();
+  // Engine-answered: the incremental tracker for owning engines, one
+  // scan per row otherwise -- identical values either way.
+  row.largest_component = net.largest_component();
   if (stretch_ != nullptr && stretch_->sampled_last_round()) {
     row.stretch = stretch_->last_sample();
     row.stretch_sampled = true;
@@ -203,8 +209,7 @@ void SinkObserver::on_join(const Network& net, const JoinEvent& ev) {
   row.alive = net.graph().num_alive();
   row.edges = net.graph().num_edges();
   row.max_delta = net.state().max_delta_ever();
-  row.largest_component =
-      graph::connected_components(net.graph()).largest();
+  row.largest_component = net.largest_component();
   sink_.on_row(row);
 }
 

@@ -42,9 +42,10 @@ struct SuiteConfig {
   /// sink may collect across several suites, e.g. one JSON group per
   /// sweep cell).
   std::vector<MetricSink*> sinks;
-  /// Capture per-round rows for the sinks (costs one
-  /// largest-component scan per round). Summary-only sinks should
-  /// leave this off.
+  /// Capture per-round rows for the sinks. The per-row
+  /// largest-component figure comes from the engine's incremental
+  /// connectivity tracker (O(alpha) amortized); summary-only sinks
+  /// should still leave this off.
   bool record_rows = false;
   /// Post-run inspection hook, called sequentially in instance order
   /// after every instance completed; the engine (graph + healing

@@ -26,16 +26,42 @@ NodeId UnionFind::find(NodeId v) {
 }
 
 bool UnionFind::unite(NodeId a, NodeId b) {
+  return unite_report(a, b).merged;
+}
+
+UnionFind::UniteReport UnionFind::unite_report(NodeId a, NodeId b) {
   NodeId ra = find(a);
   NodeId rb = find(b);
-  if (ra == rb) return false;
+  if (ra == rb) return {ra, ra, false};
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
   parent_[rb] = ra;
   size_[ra] += size_[rb];
   --sets_;
-  return true;
+  return {ra, rb, true};
 }
 
 std::size_t UnionFind::set_size(NodeId v) { return size_[find(v)]; }
+
+NodeId UnionFind::add() {
+  const NodeId v = static_cast<NodeId>(parent_.size());
+  parent_.push_back(v);
+  size_.push_back(1);
+  ++sets_;
+  return v;
+}
+
+void UnionFind::reroot(const std::vector<NodeId>& members) {
+  DASH_CHECK_MSG(!members.empty(), "reroot needs at least one member");
+  const NodeId root = members.front();
+  DASH_CHECK(root < parent_.size());
+  parent_[root] = root;
+  size_[root] = static_cast<std::uint32_t>(members.size());
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    const NodeId v = members[i];
+    DASH_CHECK(v < parent_.size());
+    parent_[v] = root;
+    size_[v] = 1;
+  }
+}
 
 }  // namespace dash::graph

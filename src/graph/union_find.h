@@ -1,7 +1,9 @@
 // union_find.h -- disjoint-set forest with union by size and path
 // compression. Used as the ground-truth component oracle that the
-// ID-propagation mechanism of DASH is validated against, and by the
-// connectivity invariant checker.
+// ID-propagation mechanism of DASH is validated against, by the
+// connectivity invariant checker, and as the insert-only half of
+// graph::DynamicConnectivity (which also needs the add()/unite_report()/
+// reroot() extensions below for its rebuild-on-delete path).
 #pragma once
 
 #include <cstddef>
@@ -23,6 +25,19 @@ class UnionFind {
   /// Merge the sets of a and b; returns true if they were distinct.
   bool unite(NodeId a, NodeId b);
 
+  /// Result of one unite_report() call: which root survived and which
+  /// was absorbed, so callers that key per-set data on roots can merge
+  /// their own books. When merged is false both fields name the common
+  /// root the elements already shared.
+  struct UniteReport {
+    NodeId root = kInvalidNode;
+    NodeId absorbed = kInvalidNode;
+    bool merged = false;
+  };
+
+  /// unite() that reports the surviving and absorbed roots.
+  UniteReport unite_report(NodeId a, NodeId b);
+
   bool connected(NodeId a, NodeId b) { return find(a) == find(b); }
 
   /// Size of the set containing v.
@@ -32,6 +47,21 @@ class UnionFind {
   std::size_t num_sets() const { return sets_; }
 
   std::size_t size() const { return parent_.size(); }
+
+  /// Append one fresh singleton element; returns its id. Grows the
+  /// element space (organic node arrivals).
+  NodeId add();
+
+  /// Rebuild surgery for DynamicConnectivity's delete path: carve
+  /// `members` (non-empty) out of their current sets and make them one
+  /// fresh set rooted at members[0]. Elements outside `members` that
+  /// shared a set keep their old parent chains, so the caller must
+  /// reroot every element it still queries from the dissolved sets
+  /// (DynamicConnectivity reroots every alive member and never queries
+  /// dead ids again). After this call num_sets()/set_size() are only
+  /// meaningful for sets the surgery never touched -- callers keep
+  /// their own component books.
+  void reroot(const std::vector<NodeId>& members);
 
  private:
   std::vector<NodeId> parent_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/dynamic_connectivity.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -94,6 +95,25 @@ TEST(CheckStruct, FactoryHelpers) {
   const Check f = Check::fail("oops");
   EXPECT_FALSE(f.ok);
   EXPECT_EQ(f.violation, "oops");
+}
+
+TEST(ComponentTracker, AgreesWithBfsAcrossMutations) {
+  Rng rng(21);
+  Graph g = graph::barabasi_albert(48, 2, rng);
+  graph::DynamicConnectivity dc(g);
+  EXPECT_TRUE(check_component_tracker(g, dc).ok);
+  const auto survivors = g.delete_node(3);
+  dc.node_removed(3, survivors, /*may_split=*/true);
+  EXPECT_TRUE(check_component_tracker(g, dc).ok);
+}
+
+TEST(ComponentTracker, FlagsDesyncedTracker) {
+  Graph g = graph::path_graph(4);
+  graph::DynamicConnectivity dc(g);
+  // Cut the path WITHOUT telling the tracker: the differential checker
+  // must flag the divergence (1 tracked component vs 2 real ones).
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(check_component_tracker(g, dc).ok);
 }
 
 }  // namespace

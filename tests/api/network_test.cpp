@@ -185,5 +185,105 @@ TEST(Network, EarlyStoppingAttackEndsRun) {
   EXPECT_EQ(m.deletions, 1u);
 }
 
+// ---- incremental connectivity integration ---------------------------------
+
+TEST(Network, OwningEnginesDefaultToTrackerMode) {
+  auto net = make_net(32, 13);
+  // DASH_VERIFY_CONNECTIVITY=1 upgrades the default to kVerify; both
+  // are tracker-backed.
+  EXPECT_NE(net.connectivity_mode(), ConnectivityMode::kBfs);
+  EXPECT_NE(net.connectivity_tracker(), nullptr);
+}
+
+TEST(Network, BorrowedEnginesPinnedToBfs) {
+  Rng rng(14);
+  Graph g = graph::barabasi_albert(32, 2, rng);
+  core::HealingState st(g, rng);
+  auto healer = core::make_strategy("dash");
+  Network net(g, st, *healer);
+  EXPECT_EQ(net.connectivity_mode(), ConnectivityMode::kBfs);
+  EXPECT_EQ(net.connectivity_tracker(), nullptr);
+  EXPECT_DEATH(net.set_connectivity_mode(ConnectivityMode::kTracker),
+               "owning");
+  // The BFS fallback still serves component queries.
+  EXPECT_EQ(net.component_count(), 1u);
+  EXPECT_EQ(net.largest_component(), 32u);
+}
+
+TEST(Network, ComponentAccessorsMatchScan) {
+  auto net = make_net(64, 15);
+  auto atk = attack::make_attack("maxnode", 15);
+  RunOptions opts;
+  opts.max_deletions = 20;
+  net.run(*atk, opts);
+  const auto truth = graph::connected_components(net.graph());
+  EXPECT_EQ(net.component_count(), truth.count());
+  EXPECT_EQ(net.largest_component(), truth.largest());
+  const Metrics m = net.metrics();
+  EXPECT_EQ(m.components, truth.count());
+  EXPECT_EQ(m.largest_component, truth.largest());
+}
+
+TEST(Network, HealedRunsNeverRebuildTheTracker) {
+  // Every DASH deletion is certified through the healing forest, so the
+  // whole schedule stays on the O(alpha) fast path: zero re-scans.
+  auto net = make_net(128, 16);
+  auto atk = attack::make_attack("neighborofmax", 16);
+  const Metrics m = net.run(*atk);
+  EXPECT_TRUE(m.stayed_connected);
+  ASSERT_NE(net.connectivity_tracker(), nullptr);
+  EXPECT_EQ(net.connectivity_tracker()->rebuilds(), 0u);
+  EXPECT_EQ(net.connectivity_tracker()->nodes_rescanned(), 0u);
+}
+
+TEST(Network, UnattachedJoinSplitsComponentStructure) {
+  Rng rng(17);
+  Network net(graph::path_graph(4), core::make_strategy("dash"), rng);
+  net.join({});
+  EXPECT_EQ(net.component_count(), 2u);
+  EXPECT_EQ(net.largest_component(), 4u);
+  const Metrics m = net.metrics();
+  EXPECT_FALSE(m.stayed_connected);
+  EXPECT_EQ(m.components, 2u);
+}
+
+TEST(Network, RoundEventCacheIsFreshEveryRound) {
+  // The connected() verdict is cached per event; the engine constructs
+  // one event per round, so no round may start with a cached verdict
+  // (Network::finish_round DASH_CHECKs this). Observing the flag at
+  // both pipeline stages over many rounds proves no leak.
+  class CacheProbe final : public Observer {
+   public:
+    std::string name() const override { return "cache-probe"; }
+    void on_heal(const Network&, const RoundEvent& ev) override {
+      // First stage to see the event: nothing may be cached yet.
+      EXPECT_FALSE(ev.connectivity_checked());
+      EXPECT_TRUE(ev.connected());
+      EXPECT_TRUE(ev.connectivity_checked());
+    }
+    void on_round_end(const Network&, const RoundEvent& ev) override {
+      // Same round, later stage: the cached verdict is still visible.
+      EXPECT_TRUE(ev.connectivity_checked());
+      ++rounds_seen;
+    }
+    std::size_t rounds_seen = 0;
+  };
+  auto net = make_net(48, 18);
+  CacheProbe probe;
+  net.add_observer(&probe);
+  auto atk = attack::make_attack("neighborofmax", 18);
+  RunOptions opts;
+  opts.max_deletions = 30;
+  net.run(*atk, opts);
+  EXPECT_EQ(probe.rounds_seen, 30u);
+}
+
+TEST(Network, DetachedRoundEventDefaultsToConnected) {
+  RoundEvent ev;
+  EXPECT_FALSE(ev.connectivity_checked());
+  EXPECT_TRUE(ev.connected());
+  EXPECT_TRUE(ev.connectivity_checked());
+}
+
 }  // namespace
 }  // namespace dash::api

@@ -59,5 +59,44 @@ TEST(UnionFind, FindOutOfRangeAborts) {
   EXPECT_DEATH(uf.find(5), "");
 }
 
+TEST(UnionFind, UniteReportNamesSurvivorAndAbsorbed) {
+  UnionFind uf(4);
+  uf.unite(0, 1);  // {0,1} size 2
+  const auto merged = uf.unite_report(2, 0);
+  EXPECT_TRUE(merged.merged);
+  EXPECT_EQ(merged.root, uf.find(0));       // larger set's root survives
+  EXPECT_NE(merged.root, merged.absorbed);  // absorbed was 2's old root
+  const auto again = uf.unite_report(1, 2);
+  EXPECT_FALSE(again.merged);
+  EXPECT_EQ(again.root, again.absorbed);
+  EXPECT_EQ(again.root, uf.find(1));
+}
+
+TEST(UnionFind, AddAppendsSingleton) {
+  UnionFind uf(2);
+  uf.unite(0, 1);
+  const NodeId v = uf.add();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(uf.size(), 3u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_FALSE(uf.connected(0, v));
+  uf.unite(v, 0);
+  EXPECT_EQ(uf.set_size(v), 3u);
+}
+
+TEST(UnionFind, RerootCarvesOutFreshSet) {
+  UnionFind uf(6);
+  for (NodeId v = 1; v < 6; ++v) uf.unite(0, v);
+  // Split {0..5} into {0,1,2} and {3,4,5}, as the rebuild path does
+  // after an uncertified deletion.
+  uf.reroot({0, 1, 2});
+  uf.reroot({3, 4, 5});
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.connected(3, 5));
+  EXPECT_FALSE(uf.connected(2, 3));
+  EXPECT_EQ(uf.find(1), 0u);
+  EXPECT_EQ(uf.find(4), 3u);
+}
+
 }  // namespace
 }  // namespace dash::graph
