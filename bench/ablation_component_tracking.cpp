@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   for (std::size_t n : fo.sizes()) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
       const auto results = dash::bench::run_cell_results(
-          fo, n, keys[i], scenario, &pool, nullptr, json.get(), names[i]);
+          fo, n, keys[i], scenario, pool, nullptr, json.get(), names[i]);
 
       dash::bench::SeriesPoint p;
       p.n = n;

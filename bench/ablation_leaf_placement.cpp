@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
           [](const Metrics& r) {
             return static_cast<double>(r.max_delta);
           },
-          &pool, nullptr, json.get(), names[i]);
+          pool, nullptr, json.get(), names[i]);
       points.push_back(p);
     }
     std::fprintf(stderr, "  done n=%zu\n", n);

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
       // One suite per cell; both metrics summarize the same runs.
       const auto results = dash::bench::run_cell_results(
-          fo, n, keys[i], scenario, &pool, track_stretch, json.get(),
+          fo, n, keys[i], scenario, pool, track_stretch, json.get(),
           names[i]);
 
       dash::bench::SeriesPoint sp;

@@ -42,42 +42,20 @@ int main(int argc, char** argv) {
     if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
   }
 
-  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
-  const auto specs = dash::core::paper_strategy_specs();
-  std::vector<std::string> names;
-  for (const auto& spec : specs) {
-    names.push_back(dash::core::make_strategy(spec)->name());
-  }
-
-  // Per-instance stretch sampling via the observer pipeline.
-  const auto every = static_cast<std::size_t>(sample_every);
-  const auto track_stretch = [every](dash::api::Network& net) {
-    net.add_observer(std::make_unique<dash::api::StretchObserver>(every));
-  };
-
-  dash::bench::JsonOutput json(fo.json_path);
-  std::vector<dash::bench::SeriesPoint> points;
-  for (std::size_t n : fo.sizes()) {
-    // Delete half the nodes (degree stays sane at that depth).
-    const auto scenario =
-        dash::api::Scenario().targeted(fo.attack, n / 2);
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      dash::bench::SeriesPoint p;
-      p.n = n;
-      p.strategy = names[i];
-      p.summary = dash::bench::run_cell(
-          fo, n, specs[i], scenario,
-          [](const Metrics& r) { return r.max_stretch; }, &pool,
-          track_stretch, json.get(), names[i]);
-      points.push_back(std::move(p));
-      std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
-                   names[i].c_str());
-    }
-  }
-
-  dash::bench::print_figure(
+  // One grid over sizes x the paper's five strategies: delete half the
+  // nodes (degree stays sane at that depth -- untilfrac keeps the spec
+  // size-relative, so every n shares one scenario string), with
+  // per-instance stretch sampling via the observer pipeline.
+  const auto spec = dash::bench::grid_spec(
+      fo, "max_stretch", dash::core::paper_strategy_specs(),
+      "untilfrac:0.5," + fo.attack,
+      static_cast<std::size_t>(sample_every));
+  const int rc = dash::bench::run_grid_figure(
       "Figure 10: max stretch vs graph size (max over sampled rounds)",
-      fo, names, points, "max_stretch");
+      fo, spec, "max_stretch",
+      [](const Metrics& r) { return r.max_stretch; });
+  if (rc != 0) return rc;
+
   std::cout << "\nreference: log2(n):\n";
   for (std::size_t n : fo.sizes()) {
     std::cout << "  n=" << n << "  log2(n)=" << std::log2(double(n)) << "\n";

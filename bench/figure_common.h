@@ -3,6 +3,7 @@
 // averaging (Sec. 4.1 methodology), and paper-style table output.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "api/api.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 #include "graph/generators.h"
 #include "util/ascii_plot.h"
 #include "util/cli.h"
@@ -81,7 +84,7 @@ struct SeriesPoint {
 /// labelled group.
 inline std::vector<api::Metrics> run_cell_results(
     const FigureOptions& fo, std::size_t n, const std::string& healer_spec,
-    const api::Scenario& scenario, dash::util::ThreadPool* pool,
+    const api::Scenario& scenario, dash::util::ThreadPool& pool,
     const std::function<void(api::Network&)>& configure = nullptr,
     api::JsonSummarySink* json = nullptr,
     const std::string& strategy_label = "") {
@@ -109,7 +112,7 @@ inline std::vector<api::Metrics> run_cell_results(
 inline dash::util::Summary run_cell(
     const FigureOptions& fo, std::size_t n, const std::string& healer_spec,
     const api::Scenario& scenario, const MetricFn& metric,
-    dash::util::ThreadPool* pool,
+    dash::util::ThreadPool& pool,
     const std::function<void(api::Network&)>& configure = nullptr,
     api::JsonSummarySink* json = nullptr,
     const std::string& strategy_label = "") {
@@ -202,6 +205,77 @@ struct JsonOutput {
   api::JsonSummarySink* get() { return sink ? &*sink : nullptr; }
 };
 
+/// The figure benches are grid runs: one ExperimentSpec over the
+/// common flags (sizes x healers x one scenario), executed by the exp
+/// runner. The derived cell seeds and group labels reproduce the
+/// historical per-cell layout, so `--json` documents are unchanged --
+/// and `dash_lab run --grid "$(canonical spec)"` recomputes any figure,
+/// sharded across processes if desired.
+inline exp::ExperimentSpec grid_spec(const FigureOptions& fo,
+                                     std::string name,
+                                     std::vector<std::string> healers,
+                                     std::string scenario,
+                                     std::size_t stretch_every = 0) {
+  exp::ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.sizes = fo.sizes();
+  spec.healers = std::move(healers);
+  spec.scenarios = {std::move(scenario)};
+  spec.instances = static_cast<std::size_t>(fo.instances);
+  spec.seed = fo.seed;
+  spec.ba_edges = static_cast<std::size_t>(fo.ba_edges);
+  spec.stretch_every = stretch_every;
+  return spec;
+}
+
+/// Execute a figure grid and render the table / plot / CSV / JSON
+/// outputs from its cells.
+inline int run_grid_figure(const std::string& title,
+                           const FigureOptions& fo,
+                           const exp::ExperimentSpec& spec,
+                           const std::string& metric_name,
+                           const MetricFn& metric) {
+  try {
+    std::vector<std::string> names;
+    std::vector<SeriesPoint> points;
+    std::vector<exp::ShardRecord> records;
+    const std::size_t total = spec.enumerate().size();
+
+    exp::RunnerOptions ropt;
+    ropt.threads = static_cast<std::size_t>(fo.threads);
+    ropt.on_cell = [&](const exp::CellResult& result) {
+      SeriesPoint p;
+      p.n = result.cell.n;
+      p.strategy = result.cell.strategy_label;
+      p.summary = api::summarize_metric(result.runs, metric);
+      points.push_back(std::move(p));
+      if (std::find(names.begin(), names.end(),
+                    result.cell.strategy_label) == names.end()) {
+        names.push_back(result.cell.strategy_label);
+      }
+      if (!fo.json_path.empty()) {
+        records.push_back(exp::to_record(spec, result));
+      }
+      std::fprintf(stderr, "  [%zu/%zu] done n=%zu strategy=%s\n",
+                   result.cell.index + 1, total, result.cell.n,
+                   result.cell.strategy_label.c_str());
+    };
+    exp::run(spec, ropt);
+
+    print_figure(title, fo, names, points, metric_name);
+    if (!fo.json_path.empty()) {
+      std::ofstream out(fo.json_path);
+      out << exp::merged_document(spec, records);
+      std::cout << "JSON summary written to " << fo.json_path << "\n";
+    }
+    std::fprintf(stderr, "grid: %s\n", spec.canonical().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
 /// Full driver shared by Fig. 8 / 9(a) / 9(b): sweep sizes x the paper's
 /// five strategies, each cell one declarative scenario suite, and
 /// report `metric`.
@@ -212,35 +286,12 @@ inline int run_strategy_sweep_figure(int argc, char** argv,
                                      FigureOptions fo = {}) {
   if (!fo.parse(argc, argv, title)) return fo.help ? 0 : 2;
 
-  dash::util::ThreadPool pool(static_cast<std::size_t>(fo.threads));
-  const auto specs = core::paper_strategy_specs();
-  std::vector<std::string> names;
-  for (const auto& spec : specs) {
-    names.push_back(core::make_strategy(spec)->name());
-  }
-
   // The paper's schedule: the adversary deletes until the graph is
   // gone, no observers.
-  const api::Scenario scenario = api::Scenario().targeted(fo.attack);
-  JsonOutput json(fo.json_path);
-  std::vector<SeriesPoint> points;
-  for (std::size_t n : fo.sizes()) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      SeriesPoint p;
-      p.n = n;
-      p.strategy = names[i];
-      p.summary = run_cell(fo, n, specs[i], scenario, metric, &pool,
-                           nullptr, json.get(), names[i]);
-      points.push_back(std::move(p));
-      std::fprintf(stderr, "  done n=%zu strategy=%s\n", n,
-                   names[i].c_str());
-    }
-  }
-  print_figure(title, fo, names, points, metric_name);
-  if (json.get() != nullptr) {
-    std::cout << "JSON summary written to " << fo.json_path << "\n";
-  }
-  return 0;
+  const auto spec = grid_spec(fo, metric_name,
+                              core::paper_strategy_specs(),
+                              "targeted:" + fo.attack);
+  return run_grid_figure(title, fo, spec, metric_name, metric);
 }
 
 }  // namespace dash::bench

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
           std::max(worst_idchg,
                    static_cast<double>(st.max_id_changes()) / (2.0 * lnn));
     };
-    dash::api::run_suite(cfg, &pool);
+    dash::api::run_suite(cfg, pool);
 
     // Distributed latency measurements on fresh instances drawn from
     // the same per-instance seed layout.

@@ -16,15 +16,14 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
-#include <optional>
 #include <sstream>
 
 #include "api/api.h"
-#include "graph/generators.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -38,37 +37,6 @@ std::vector<std::string> split_csv(const std::string& s) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
-}
-
-std::function<dash::graph::Graph(dash::util::Rng&)> make_family(
-    const std::string& family, std::size_t n, std::size_t ba_m) {
-  using dash::graph::Graph;
-  if (family == "ba") {
-    return [n, ba_m](dash::util::Rng& rng) {
-      return dash::graph::barabasi_albert(n, ba_m, rng);
-    };
-  }
-  if (family == "tree") {
-    return [n](dash::util::Rng& rng) {
-      return dash::graph::random_tree(n, rng);
-    };
-  }
-  if (family == "gnp") {
-    return [n](dash::util::Rng& rng) {
-      return dash::graph::connected_gnp(
-          n, 6.0 / static_cast<double>(n) + 0.02, rng);
-    };
-  }
-  if (family == "ws") {
-    return [n](dash::util::Rng& rng) {
-      return dash::graph::watts_strogatz(n, 2, 0.2, rng);
-    };
-  }
-  if (family == "cycle") {
-    return [n](dash::util::Rng&) { return dash::graph::cycle_graph(n); };
-  }
-  throw std::invalid_argument("unknown family: " + family +
-                              " (ba/tree/gnp/ws/cycle)");
 }
 
 double extract(const Metrics& r, const std::string& metric) {
@@ -106,9 +74,11 @@ int main(int argc, char** argv) {
   std::string metric = "max_delta", csv_path, json_path, scenario_spec;
   std::uint64_t instances = 10, seed = 0xDA5B, min_n = 64, max_n = 512;
   std::uint64_t ba_edges = 2, deletions = 0, threads = 0;
+  bool print_grid = false;
 
   dash::util::Options opt("dashheal sweep driver");
-  opt.add_string("family", &family, "graph family (ba/tree/gnp/ws/cycle)");
+  opt.add_string("family", &family,
+                 "graph family (" + joined(dash::exp::family_names()) + ")");
   opt.add_string("attack", &attack,
                  "attack (" + joined(dash::attack::attack_names()) + ")");
   opt.add_string("healers", &healers,
@@ -133,96 +103,94 @@ int main(int argc, char** argv) {
   opt.add_string("json", &json_path,
                  "optional BENCH_*.json summary output path");
   opt.add_uint("threads", &threads, "worker threads");
+  opt.add_flag("print-grid", &print_grid,
+               "print the sweep's canonical one-line ExperimentSpec "
+               "(hand it to dash_lab) and exit");
   if (!opt.parse(argc, argv)) return opt.help_requested() ? 0 : 2;
 
   try {
-    const auto healer_names = split_csv(healers);
-    dash::util::ThreadPool pool(static_cast<std::size_t>(threads));
+    extract(Metrics{}, metric);  // fail fast on an unknown metric name
 
     // The workload: an explicit scenario wins; otherwise the classic
-    // targeted schedule (with the stretch metric's n/2 default depth).
-    dash::api::Scenario custom_scenario;
-    if (!scenario_spec.empty()) {
-      custom_scenario = dash::api::Scenario::parse(scenario_spec);
+    // targeted schedule (with the stretch metric's delete-half default,
+    // size-relative via untilfrac).
+    std::string scenario = scenario_spec;
+    if (scenario.empty()) {
+      if (metric == "stretch" && deletions == 0) {
+        scenario = "untilfrac:0.5," + attack;
+      } else if (deletions > 0) {
+        scenario = "targeted:" + attack + "," + std::to_string(deletions);
+      } else {
+        scenario = "targeted:" + attack;
+      }
+    }
+
+    // The whole sweep is one ExperimentSpec grid; the same spec drives
+    // dash_lab's sharded / multi-process runs.
+    dash::exp::ExperimentSpec spec;
+    spec.name = "sweep";
+    spec.families = {family};
+    spec.sizes.clear();
+    for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
+      spec.sizes.push_back(static_cast<std::size_t>(n));
+    }
+    spec.healers = split_csv(healers);
+    spec.scenarios = {dash::api::Scenario::parse(scenario).spec()};
+    spec.instances = static_cast<std::size_t>(instances);
+    spec.seed = seed;
+    spec.ba_edges = static_cast<std::size_t>(ba_edges);
+    spec.stretch_every = metric == "stretch" ? 4 : 0;
+    spec.labels = "spec";  // groups carry the raw healer spellings
+    if (print_grid) {
+      std::cout << spec.canonical() << "\n";
+      return 0;
     }
 
     std::vector<std::string> header{"n"};
-    header.insert(header.end(), healer_names.begin(), healer_names.end());
+    header.insert(header.end(), spec.healers.begin(), spec.healers.end());
     dash::util::Table table(header);
 
     std::ostringstream csv_buf;
     dash::util::CsvWriter csv(csv_buf, {"n", "healer", "metric", "mean",
                                         "stddev", "min", "max"});
 
-    std::ofstream json_file;
-    std::optional<dash::api::JsonSummarySink> json;
-    if (!json_path.empty()) {
-      json_file.open(json_path);
-      json.emplace(json_file);
-    }
-
-    for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
-      table.begin_row().cell(std::to_string(n));
-
-      dash::api::Scenario scenario;
-      if (!scenario_spec.empty()) {
-        scenario = custom_scenario;
-      } else {
-        std::size_t cap = static_cast<std::size_t>(deletions);
-        if (metric == "stretch" && cap == 0) {
-          cap = static_cast<std::size_t>(n) / 2;
-        }
-        scenario = dash::api::Scenario().targeted(attack, cap);
+    std::vector<dash::exp::ShardRecord> records;
+    std::size_t current_n = 0;
+    dash::exp::RunnerOptions ropt;
+    ropt.threads = static_cast<std::size_t>(threads);
+    ropt.on_cell = [&](const dash::exp::CellResult& result) {
+      if (result.cell.n != current_n) {
+        current_n = result.cell.n;
+        table.begin_row().cell(std::to_string(current_n));
+        std::fprintf(stderr, "  n=%zu\n", current_n);
       }
-
-      for (const auto& healer_name : healer_names) {
-        dash::api::SuiteConfig cfg;
-        cfg.make_graph = make_family(
-            family, static_cast<std::size_t>(n),
-            static_cast<std::size_t>(ba_edges));
-        cfg.make_healer = dash::api::healer_factory(healer_name);
-        cfg.scenario = scenario;
-        cfg.instances = static_cast<std::size_t>(instances);
-        cfg.base_seed = seed ^ (n * 0x9E3779B97F4A7C15ULL);
-        if (metric == "stretch") {
-          cfg.configure = [](dash::api::Network& net) {
-            net.add_observer(
-                std::make_unique<dash::api::StretchObserver>(4));
-          };
-        }
-        if (json) {
-          json->begin_group({{"n", std::to_string(n)},
-                             {"strategy", healer_name},
-                             {"scenario", scenario.spec()}});
-          cfg.sinks.push_back(&*json);
-        }
-        const auto results = dash::api::run_suite(cfg, &pool);
-        const auto summary = dash::api::summarize_metric(
-            results,
-            [&metric](const Metrics& r) { return extract(r, metric); });
-        table.cell(summary.mean, 2);
-        csv.write(n, healer_name, metric, summary.mean, summary.stddev,
-                  summary.min, summary.max);
+      const auto summary = dash::api::summarize_metric(
+          result.runs,
+          [&metric](const Metrics& r) { return extract(r, metric); });
+      table.cell(summary.mean, 2);
+      csv.write(result.cell.n, result.cell.healer, metric, summary.mean,
+                summary.stddev, summary.min, summary.max);
+      if (!json_path.empty()) {
+        records.push_back(dash::exp::to_record(spec, result));
       }
-      std::fprintf(stderr, "  done n=%llu\n",
-                   static_cast<unsigned long long>(n));
-    }
+    };
+    dash::exp::run(spec, ropt);
 
     std::cout << "\n== sweep: family=" << family << " scenario="
-              << (scenario_spec.empty() ? "targeted:" + attack
-                                        : scenario_spec)
-              << " metric=" << metric << " instances=" << instances
-              << " ==\n\n";
+              << spec.scenarios[0] << " metric=" << metric
+              << " instances=" << instances << " ==\n\n";
     table.print(std::cout);
     if (!csv_path.empty()) {
       std::ofstream out(csv_path);
       out << csv_buf.str();
       std::cout << "\nCSV written to " << csv_path << "\n";
     }
-    if (json) {
-      json->flush();
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      out << dash::exp::merged_document(spec, records);
       std::cout << "\nJSON summary written to " << json_path << "\n";
     }
+    std::fprintf(stderr, "grid: %s\n", spec.canonical().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -351,6 +352,71 @@ class UntilNLeftPhase final : public ScenarioPhase {
   std::string attack_;
 };
 
+class UntilFracPhase final : public ScenarioPhase {
+ public:
+  UntilFracPhase(double frac, std::string attack)
+      : frac_(frac), attack_(std::move(attack)) {
+    DASH_CHECK_MSG(frac_ > 0.0 && frac_ <= 1.0,
+                   "untilfrac needs a fraction in (0, 1]");
+    validate_attack_spec("untilfrac", attack_);
+  }
+
+  std::string spec() const override {
+    return "untilfrac:" + rate_to_string(frac_) + "," + attack_;
+  }
+
+  void execute(PlayContext& ctx) const override {
+    // Size-relative target: delete until at most ceil(initial * frac)
+    // nodes survive. The initial size comes from the engine, so the
+    // same phase value serves every n of a sweep grid ("delete half"
+    // without baking n/2 into the spec).
+    const double raw =
+        std::ceil(static_cast<double>(ctx.net.initial_size()) * frac_);
+    const auto target =
+        std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+    auto atk = attack::make_attack(attack_, ctx.rng.next_u64());
+    while (ctx.net.graph().num_alive() > std::max(target, ctx.floor)) {
+      if (ctx.stopped()) break;
+      const NodeId v = atk->select(ctx.net.graph(), ctx.net.state());
+      if (v == graph::kInvalidNode) break;
+      ctx.net.remove(v);
+    }
+  }
+
+  std::unique_ptr<ScenarioPhase> clone() const override {
+    return std::make_unique<UntilFracPhase>(*this);
+  }
+
+ private:
+  double frac_;
+  std::string attack_;
+};
+
+/// A registered name standing for a whole phase list; spec() round-trips
+/// through the preset's name, so grids and CLIs stay readable.
+class PresetPhase final : public ScenarioPhase {
+ public:
+  PresetPhase(std::string name, Scenario body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  std::string spec() const override { return name_; }
+
+  void execute(PlayContext& ctx) const override {
+    for (const auto& phase : body_.phases()) {
+      if (ctx.stopped()) return;
+      phase->execute(ctx);
+    }
+  }
+
+  std::unique_ptr<ScenarioPhase> clone() const override {
+    return std::make_unique<PresetPhase>(*this);
+  }
+
+ private:
+  std::string name_;
+  Scenario body_;
+};
+
 class RepeatPhase final : public ScenarioPhase {
  public:
   RepeatPhase(std::size_t times, Scenario body)
@@ -494,6 +560,23 @@ std::unique_ptr<ScenarioPhase> parse_until(const std::string& param) {
       parts.size() == 2 && !parts[1].empty() ? parts[1] : "maxnode");
 }
 
+std::unique_ptr<ScenarioPhase> parse_untilfrac(const std::string& param) {
+  const auto parts = split_commas(param);
+  if (parts.empty() || parts.size() > 2 || parts[0].empty()) {
+    throw std::invalid_argument(
+        "bad untilfrac phase: 'untilfrac:" + param +
+        "' (expected untilfrac:<frac>[,<attack>])");
+  }
+  const double frac = parse_rate("untilfrac", parts[0]);
+  if (frac <= 0.0 || frac > 1.0) {
+    throw std::invalid_argument(
+        "untilfrac needs a fraction in (0, 1] in 'untilfrac:" + param +
+        "'");
+  }
+  return std::make_unique<UntilFracPhase>(
+      frac, parts.size() == 2 && !parts[1].empty() ? parts[1] : "maxnode");
+}
+
 std::unique_ptr<ScenarioPhase> parse_repeat(const std::string& param) {
   const auto brace = param.find('{');
   if (brace == std::string::npos || param.empty() ||
@@ -560,6 +643,25 @@ std::string trimmed(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+/// Register a named preset: a fixed phase list a spec can pull in by
+/// name. Presets live in the same registry as the primitive phases, so
+/// an unknown preset error lists every registered spelling.
+void add_preset(util::Registry<ScenarioPhase>* r, const std::string& name,
+                const std::string& body_spec) {
+  r->add(name,
+         [name, body_spec](const std::string& param)
+             -> std::unique_ptr<ScenarioPhase> {
+           if (!param.empty()) {
+             throw std::invalid_argument("scenario preset '" + name +
+                                         "' takes no parameter (got '" +
+                                         param + "')");
+           }
+           return std::make_unique<PresetPhase>(name,
+                                                Scenario::parse(body_spec));
+         },
+         {}, name);
+}
+
 }  // namespace
 
 // ---- registry -------------------------------------------------------------
@@ -595,6 +697,16 @@ util::Registry<ScenarioPhase>& scenario_phase_registry() {
         "floor",
         [](const std::string& param) { return parse_floor(param); }, {},
         "floor:<min_alive>");
+    r->add(
+        "untilfrac",
+        [](const std::string& param) { return parse_untilfrac(param); },
+        {"until_frac"}, "untilfrac:<frac>[,<attack>]");
+    // Named presets (keep these registered after the primitives they
+    // expand to): the spellings grids and dash_lab reference directly.
+    add_preset(r, "paper-churn", "churn:0.3,0.1x500");
+    add_preset(r, "max-degree-attack", "targeted:maxnode");
+    add_preset(r, "until-half", "untilfrac:0.5,maxnode");
+    add_preset(r, "until-quarter", "untilfrac:0.25,maxnode");
     return r;
   }();
   return *registry;
@@ -653,6 +765,10 @@ Scenario& Scenario::targeted(AttackerFactory factory,
 
 Scenario& Scenario::until_n_left(std::size_t n, const std::string& attack) {
   return add(std::make_unique<UntilNLeftPhase>(n, attack));
+}
+
+Scenario& Scenario::until_fraction(double frac, const std::string& attack) {
+  return add(std::make_unique<UntilFracPhase>(frac, attack));
 }
 
 Scenario& Scenario::repeat(std::size_t times, Scenario body) {

@@ -31,8 +31,17 @@
 //                                deletions) -- the classic full
 //                                schedule is `targeted:<attack>`
 //   until:<n>[,<attack>]         delete via <attack> until <= n alive
+//   untilfrac:<f>[,<attack>]     delete via <attack> until at most
+//                                ceil(initial_size * f) nodes survive --
+//                                size-relative, so one spec serves every
+//                                n of a sweep grid
 //   repeat:<k>{...}              repeat a nested phase list k times
 //   floor:<n>                    never delete below n alive nodes
+//
+// Named presets (whole phase lists registered under one spelling, e.g.
+// "paper-churn", "max-degree-attack", "until-half", "until-quarter")
+// parse like any other phase; an unknown name's error lists every
+// registered spelling, presets included.
 //
 // Phase names are served by a util::Registry, so the error for an
 // unknown phase lists every registered spelling, and downstream code
@@ -142,6 +151,10 @@ class Scenario {
                      std::size_t max_deletions = 0);
   /// Delete via `attack` until at most n nodes remain.
   Scenario& until_n_left(std::size_t n, const std::string& attack = "maxnode");
+  /// Delete via `attack` until at most ceil(initial_size * frac) nodes
+  /// remain; frac in (0, 1].
+  Scenario& until_fraction(double frac,
+                           const std::string& attack = "maxnode");
   /// Repeat a nested scenario `times` times.
   Scenario& repeat(std::size_t times, Scenario body);
   /// Deletions never reduce the network to <= min_alive nodes from
@@ -168,7 +181,9 @@ class Scenario {
 /// The registry serving phase-name lookups for Scenario::parse.
 /// Built-ins: strike (alias delete), batch (aliases batch_strike,
 /// batchstrike), churn, targeted (aliases targeted_attack, run), until
-/// (aliases until_n_left, untilnleft), repeat, floor. Case-insensitive;
+/// (aliases until_n_left, untilnleft), untilfrac (alias until_frac),
+/// repeat, floor, plus the named presets paper-churn,
+/// max-degree-attack, until-half, until-quarter. Case-insensitive;
 /// downstream code may register more.
 util::Registry<ScenarioPhase>& scenario_phase_registry();
 

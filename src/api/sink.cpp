@@ -182,6 +182,7 @@ void SinkObserver::on_round_end(const Network& net, const RoundEvent& ev) {
   // batch member.
   RoundRow row;
   row.instance = instance_;
+  row.seq = seq_++;
   row.round = ev.round;
   row.deletions_in_round = ev.deletions_in_round;
   row.event_node = ev.victim == graph::kInvalidNode ? 0 : ev.victim;
@@ -202,6 +203,7 @@ void SinkObserver::on_round_end(const Network& net, const RoundEvent& ev) {
 void SinkObserver::on_join(const Network& net, const JoinEvent& ev) {
   RoundRow row;
   row.instance = instance_;
+  row.seq = seq_++;
   row.round = net.rounds();
   row.deletions_in_round = 0;
   row.event_node = ev.joined;

@@ -42,6 +42,11 @@ class StretchObserver;
 /// organic join, with the post-event shape of the network.
 struct RoundRow {
   std::size_t instance = 0;  ///< suite instance index; 0 for single runs
+  /// Per-instance emission index (0, 1, 2, ... in the order the
+  /// instance produced its rows). (instance, seq) is a total order:
+  /// sorting rows from an interleaved-mode suite by it reproduces the
+  /// deterministic buffered ordering exactly.
+  std::size_t seq = 0;
   std::size_t round = 0;     ///< cumulative deletions after the event
   std::size_t deletions_in_round = 1;  ///< 0 for join rows
   /// Deleted node (first batch member for batch rounds); the joined
@@ -163,6 +168,7 @@ class SinkObserver final : public Observer {
   MetricSink& sink_;
   const StretchObserver* stretch_;
   std::size_t instance_;
+  std::size_t seq_ = 0;  ///< next RoundRow::seq for this instance
 };
 
 }  // namespace dash::api

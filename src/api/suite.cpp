@@ -1,5 +1,6 @@
 #include "api/suite.h"
 
+#include <mutex>
 #include <utility>
 
 #include "api/observers.h"
@@ -7,17 +8,47 @@
 
 namespace dash::api {
 
-std::vector<Metrics> run_suite(const SuiteConfig& cfg,
-                               dash::util::ThreadPool* pool) {
+namespace {
+
+/// Interleaved-mode fanout: serializes concurrent on_row calls from
+/// the worker threads onto the caller's (not necessarily thread-safe)
+/// sinks. Rows pass through as produced -- bounded memory, arrival
+/// order up to the scheduler; (instance, seq) restores determinism.
+class LockedFanoutSink final : public MetricSink {
+ public:
+  explicit LockedFanoutSink(const std::vector<MetricSink*>& sinks)
+      : sinks_(sinks) {}
+
+  std::string name() const override { return "locked-fanout"; }
+
+  void on_row(const RoundRow& row) override {
+    std::lock_guard lock(mu_);
+    for (MetricSink* sink : sinks_) sink->on_row(row);
+  }
+
+ private:
+  std::mutex mu_;
+  const std::vector<MetricSink*>& sinks_;
+};
+
+std::vector<Metrics> run_suite_impl(const SuiteConfig& cfg,
+                                    dash::util::ThreadPool* pool) {
   DASH_CHECK_MSG(cfg.make_graph && cfg.make_healer,
                  "run_suite needs make_graph and make_healer");
   DASH_CHECK_MSG(!cfg.scenario.empty(), "run_suite needs a scenario");
+  for (MetricSink* sink : cfg.sinks) {
+    DASH_CHECK_MSG(sink != nullptr, "null sink in SuiteConfig");
+  }
 
   std::vector<Metrics> results(cfg.instances);
-  // Per-instance row buffers: workers write privately, the emission
-  // loop below replays them in index order.
   const bool want_rows = cfg.record_rows && !cfg.sinks.empty();
-  std::vector<MemorySink> buffers(want_rows ? cfg.instances : 0);
+  const bool interleave = want_rows && cfg.interleaved_rows;
+  // Buffered mode: per-instance row buffers -- workers write privately,
+  // the emission loop below replays them in index order. Interleaved
+  // mode: rows stream through one locked fanout as they are produced.
+  std::vector<MemorySink> buffers(
+      want_rows && !interleave ? cfg.instances : 0);
+  LockedFanoutSink fanout(cfg.sinks);
   const bool keep_engines = static_cast<bool>(cfg.inspect);
   std::vector<std::unique_ptr<Network>> engines(
       keep_engines ? cfg.instances : 0);
@@ -38,8 +69,10 @@ std::vector<Metrics> run_suite(const SuiteConfig& cfg,
       // visible producer: wire its samples into the rows.
       const auto* stretch = dynamic_cast<const StretchObserver*>(
           net->find_observer("stretch"));
+      MetricSink& target =
+          interleave ? static_cast<MetricSink&>(fanout) : buffers[i];
       net->add_observer(
-          std::make_unique<SinkObserver>(buffers[i], stretch, i));
+          std::make_unique<SinkObserver>(target, stretch, i));
     }
     results[i] = net->play(cfg.scenario, rng);
     if (keep_engines) engines[i] = std::move(net);
@@ -51,14 +84,13 @@ std::vector<Metrics> run_suite(const SuiteConfig& cfg,
     for (std::size_t i = 0; i < cfg.instances; ++i) run_one(i);
   }
 
-  // Deterministic output: instance order, rows before the run summary.
-  // Sinks are NOT flushed here -- a sink may span several suites (one
-  // JSON group per sweep cell); whoever owns the sink flushes it when
-  // all production is done.
+  // Deterministic output: instance order, rows (buffered mode) before
+  // the run summary. Sinks are NOT flushed here -- a sink may span
+  // several suites (one JSON group per sweep cell); whoever owns the
+  // sink flushes it when all production is done.
   for (std::size_t i = 0; i < cfg.instances; ++i) {
     for (MetricSink* sink : cfg.sinks) {
-      DASH_CHECK_MSG(sink != nullptr, "null sink in SuiteConfig");
-      if (want_rows) {
+      if (want_rows && !interleave) {
         for (const RoundRow& row : buffers[i].rows()) sink->on_row(row);
       }
       sink->on_run(i, results[i]);
@@ -71,6 +103,17 @@ std::vector<Metrics> run_suite(const SuiteConfig& cfg,
     }
   }
   return results;
+}
+
+}  // namespace
+
+std::vector<Metrics> run_suite(const SuiteConfig& cfg) {
+  return run_suite_impl(cfg, nullptr);
+}
+
+std::vector<Metrics> run_suite(const SuiteConfig& cfg,
+                               dash::util::ThreadPool& pool) {
+  return run_suite_impl(cfg, &pool);
 }
 
 dash::util::Summary summarize_metric(

@@ -47,6 +47,15 @@ struct SuiteConfig {
   /// connectivity tracker (O(alpha) amortized); summary-only sinks
   /// should still leave this off.
   bool record_rows = false;
+  /// Opt-in bounded-memory row delivery for million-event runs: with
+  /// record_rows set, rows stream to the sinks *while instances run*
+  /// (serialized by a lock) instead of buffering per instance until the
+  /// barrier. Rows carry their instance id and per-instance seq, and a
+  /// stable sort by (RoundRow::instance, RoundRow::seq) reproduces the
+  /// buffered deterministic order exactly; the arrival interleaving
+  /// itself depends on thread scheduling. Run snapshots (on_run) are
+  /// still delivered post-barrier in instance order.
+  bool interleaved_rows = false;
   /// Post-run inspection hook, called sequentially in instance order
   /// after every instance completed; the engine (graph + healing
   /// state) is kept alive until then. For measurements that need more
@@ -62,11 +71,17 @@ healer_factory(const std::string& spec) {
   return [spec] { return core::make_strategy(spec); };
 }
 
-/// Run `instances` independent plays of cfg.scenario (in parallel when
-/// `pool` is given) and return per-instance metrics, ordered by
-/// instance index. Results do not depend on the worker count.
+/// Run `instances` independent plays of cfg.scenario sequentially and
+/// return per-instance metrics, ordered by instance index.
+std::vector<Metrics> run_suite(const SuiteConfig& cfg);
+
+/// Same, fanned out across a caller-owned pool (borrowed for the call
+/// only -- share one pool across as many suites as you like; the suite
+/// never stores it). Results and sink bytes are identical to the
+/// sequential overload regardless of worker count (except the row
+/// *arrival order* under interleaved_rows, as documented above).
 std::vector<Metrics> run_suite(const SuiteConfig& cfg,
-                               dash::util::ThreadPool* pool = nullptr);
+                               dash::util::ThreadPool& pool);
 
 /// Aggregate one metric across instances.
 dash::util::Summary summarize_metric(

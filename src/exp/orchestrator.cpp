@@ -1,0 +1,130 @@
+#include "exp/orchestrator.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+namespace dash::exp {
+
+namespace {
+
+/// fork + exec one worker; returns its pid. The child never returns.
+pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 2);
+    argv.push_back(const_cast<char*>(exe.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(exe.c_str(), argv.data());
+    // Only reached when exec failed; report on the inherited stderr
+    // and die without running atexit handlers twice.
+    std::string msg = "dash_lab worker: exec of '" + exe +
+                      "' failed: " + std::strerror(errno) + "\n";
+    [[maybe_unused]] const auto n =
+        ::write(STDERR_FILENO, msg.data(), msg.size());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+std::string shard_path(const std::string& dir, std::size_t index,
+                       std::size_t count) {
+  return dir + "/shard_" + std::to_string(index) + "_of_" +
+         std::to_string(count) + ".jsonl";
+}
+
+std::string orchestrate(const ExperimentSpec& spec,
+                        const OrchestrateOptions& opt) {
+  if (opt.workers == 0) {
+    throw std::invalid_argument("orchestrate needs >= 1 worker");
+  }
+  if (opt.exe.empty()) {
+    throw std::invalid_argument("orchestrate needs the worker binary path");
+  }
+  if (opt.spec_args.empty()) {
+    throw std::invalid_argument(
+        "orchestrate needs spec_args to hand workers the spec");
+  }
+  std::filesystem::create_directories(opt.shard_dir);
+
+  // Split the machine between the workers: N workers each defaulting
+  // to a hardware_concurrency-sized suite pool would oversubscribe the
+  // cores N-fold.
+  std::size_t worker_threads = opt.threads;
+  if (worker_threads == 0) {
+    worker_threads = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency() / opt.workers);
+  }
+
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < opt.workers; ++i) {
+    std::vector<std::string> args{"run"};
+    args.insert(args.end(), opt.spec_args.begin(), opt.spec_args.end());
+    args.push_back("--shard");
+    args.push_back(std::to_string(i) + "/" + std::to_string(opt.workers));
+    args.push_back("--out");
+    args.push_back(shard_path(opt.shard_dir, i, opt.workers));
+    args.push_back("--threads");
+    args.push_back(std::to_string(worker_threads));
+    if (opt.resume) args.push_back("--resume");
+    pids.push_back(spawn(opt.exe, args));
+  }
+
+  // Wait for every worker before judging any of them, so a failure
+  // never leaves orphans behind.
+  std::vector<int> statuses(pids.size(), 0);
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (::waitpid(pids[i], &statuses[i], 0) < 0) {
+      statuses[i] = -1;
+    }
+  }
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const int st = statuses[i];
+    if (st < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+      throw std::runtime_error(
+          "dash_lab worker for shard " + std::to_string(i) + "/" +
+          std::to_string(opt.workers) + " failed" +
+          (st >= 0 && WIFEXITED(st)
+               ? " (exit " + std::to_string(WEXITSTATUS(st)) + ")"
+               : st >= 0 && WIFSIGNALED(st)
+                     ? " (signal " + std::to_string(WTERMSIG(st)) + ")"
+                     : "") +
+          "; completed cells are kept in " + opt.shard_dir +
+          " -- rerun with --resume to finish");
+    }
+  }
+
+  std::vector<ShardRecord> records;
+  for (std::size_t i = 0; i < opt.workers; ++i) {
+    const auto shard = load_shard_file(shard_path(opt.shard_dir, i,
+                                                  opt.workers));
+    records.insert(records.end(), shard.begin(), shard.end());
+  }
+  return merged_document(spec, records);
+}
+
+std::string current_executable(const char* argv0) {
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return self.string();
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+}  // namespace dash::exp

@@ -1,0 +1,58 @@
+// orchestrator.h -- multi-process execution of an ExperimentSpec.
+//
+// orchestrate() spawns N worker processes of the *current binary*
+// (fork + exec), each running `run --shard i/N` over the same spec and
+// streaming its per-cell records to its own shard file, waits for all
+// of them, and merges the shard files into the single BENCH_*.json
+// document a sequential run would have produced -- byte-identical, by
+// the runner's fragment construction. Workers that die (non-zero exit,
+// signal) fail the orchestration with their shard named; already
+// completed cells stay in the shard files, so re-running with resume
+// recomputes only what is missing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/spec.h"
+
+namespace dash::exp {
+
+struct OrchestrateOptions {
+  /// Path of the binary to spawn (the dash_lab executable itself;
+  /// see current_executable()).
+  std::string exe;
+  /// How the spec reaches the workers on their command line, e.g.
+  /// {"--spec", "<file>"} or {"--grid", "<one-line spec>"} -- it must
+  /// parse to the same spec orchestrate() was given (hash-checked at
+  /// merge time).
+  std::vector<std::string> spec_args;
+  std::size_t workers = 2;
+  /// Directory for the per-shard record files (created if absent).
+  std::string shard_dir = "dash_lab_shards";
+  /// Reuse records already present in the shard files instead of
+  /// recomputing their cells.
+  bool resume = false;
+  /// Per-worker suite threads (forwarded as --threads). 0 divides the
+  /// hardware concurrency evenly between the workers instead of
+  /// oversubscribing every core N times.
+  std::size_t threads = 0;
+};
+
+/// Path of shard `index` of `count` inside `dir`.
+std::string shard_path(const std::string& dir, std::size_t index,
+                       std::size_t count);
+
+/// Run the spec across worker processes and return the merged
+/// document. Throws std::runtime_error when a worker fails and
+/// std::invalid_argument for bad options or unmergeable shards.
+std::string orchestrate(const ExperimentSpec& spec,
+                        const OrchestrateOptions& opt);
+
+/// Absolute path of the running binary (/proc/self/exe when
+/// available, argv0 otherwise).
+std::string current_executable(const char* argv0);
+
+}  // namespace dash::exp

@@ -1,0 +1,245 @@
+#include "exp/runner.h"
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/network.h"
+#include "api/observers.h"
+#include "api/sink.h"
+#include "api/suite.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dash::exp {
+
+namespace {
+
+api::ConnectivityMode parse_mode(const std::string& mode) {
+  if (mode == "tracker") return api::ConnectivityMode::kTracker;
+  if (mode == "bfs") return api::ConnectivityMode::kBfs;
+  if (mode == "verify") return api::ConnectivityMode::kVerify;
+  throw std::invalid_argument("unknown connectivity mode '" + mode + "'");
+}
+
+/// Scan an expected literal; advances *pos past it on success.
+bool expect(const std::string& s, std::size_t* pos, const char* lit) {
+  const std::size_t len = std::char_traits<char>::length(lit);
+  if (s.compare(*pos, len, lit) != 0) return false;
+  *pos += len;
+  return true;
+}
+
+bool scan_digits(const std::string& s, std::size_t* pos,
+                 std::size_t* out) {
+  const std::size_t start = *pos;
+  std::size_t value = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[*pos] - '0');
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+// ---- execution -------------------------------------------------------------
+
+std::string render_group(const ExperimentSpec& spec, const Cell& cell,
+                         const std::vector<api::Metrics>& runs) {
+  // Feed the runs through the one serializer that writes BENCH_*.json
+  // documents and peel its single group back out: whatever bytes a
+  // sequential whole-document run would emit for this cell, this is
+  // them.
+  std::ostringstream os;
+  api::JsonSummarySink sink(os);
+  sink.begin_group(cell.labels(spec.label_family()));
+  for (std::size_t i = 0; i < runs.size(); ++i) sink.on_run(i, runs[i]);
+  sink.flush();
+  const std::string doc = os.str();
+  static constexpr char kPrefix[] = "{\"groups\":[";
+  static constexpr char kSuffix[] = "]}\n";
+  const std::size_t prefix = sizeof(kPrefix) - 1;
+  const std::size_t suffix = sizeof(kSuffix) - 1;
+  DASH_CHECK_MSG(doc.size() > prefix + suffix &&
+                     doc.compare(0, prefix, kPrefix) == 0 &&
+                     doc.compare(doc.size() - suffix, suffix, kSuffix) == 0,
+                 "unexpected JsonSummarySink document shape");
+  return doc.substr(prefix, doc.size() - prefix - suffix);
+}
+
+std::vector<CellResult> run(const ExperimentSpec& spec,
+                            const RunnerOptions& opt) {
+  if (opt.shard.count == 0 || opt.shard.index >= opt.shard.count) {
+    throw std::invalid_argument(
+        "bad shard options: index " + std::to_string(opt.shard.index) +
+        " of " + std::to_string(opt.shard.count));
+  }
+  const auto cells = spec.enumerate();
+  const api::ConnectivityMode mode = parse_mode(spec.connectivity);
+
+  // One pool serves every suite of the shard (run_suite borrows it per
+  // call and never stores it).
+  std::optional<util::ThreadPool> pool;
+  if (opt.threads != 1) pool.emplace(opt.threads);
+
+  std::vector<CellResult> results;
+  for (const Cell& cell : cells) {
+    if (cell.index % opt.shard.count != opt.shard.index) continue;
+    if (opt.skip != nullptr && opt.skip->count(cell.index) != 0) continue;
+
+    api::SuiteConfig cfg;
+    cfg.make_graph = make_family(cell.family, cell.n, spec.ba_edges);
+    cfg.make_healer = api::healer_factory(cell.healer);
+    cfg.scenario = api::Scenario::parse(cell.scenario);
+    cfg.instances = cell.instances;
+    cfg.base_seed = cell.seed;
+    const std::size_t stretch_every = spec.stretch_every;
+    cfg.configure = [stretch_every, mode](api::Network& net) {
+      if (stretch_every > 0) {
+        net.add_observer(
+            std::make_unique<api::StretchObserver>(stretch_every));
+      }
+      net.set_connectivity_mode(mode);
+    };
+
+    CellResult result;
+    result.cell = cell;
+    result.runs = pool ? api::run_suite(cfg, *pool) : api::run_suite(cfg);
+    result.group_json = render_group(spec, cell, result.runs);
+    if (opt.on_cell) opt.on_cell(result);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+// ---- shard record I/O ------------------------------------------------------
+
+ShardRecord to_record(const ExperimentSpec& spec,
+                      const CellResult& result) {
+  return ShardRecord{result.cell.index, spec.hash(), result.group_json};
+}
+
+std::string shard_line(const ShardRecord& record) {
+  // The group is a JSON object, embedded verbatim; the hash is 16 hex
+  // chars. Nothing needs escaping, so parse_shard_line can be a strict
+  // positional scan.
+  std::string out = "{\"cell\":";
+  out += std::to_string(record.cell);
+  out += ",\"spec_hash\":\"";
+  out += record.spec_hash;
+  out += "\",\"group\":";
+  out += record.group_json;
+  out += "}";
+  return out;
+}
+
+bool parse_shard_line(const std::string& line, ShardRecord* out) {
+  std::size_t pos = 0;
+  ShardRecord record;
+  if (!expect(line, &pos, "{\"cell\":")) return false;
+  if (!scan_digits(line, &pos, &record.cell)) return false;
+  if (!expect(line, &pos, ",\"spec_hash\":\"")) return false;
+  const std::size_t hash_end = line.find('"', pos);
+  if (hash_end == std::string::npos || hash_end == pos) return false;
+  record.spec_hash = line.substr(pos, hash_end - pos);
+  pos = hash_end;
+  if (!expect(line, &pos, "\",\"group\":")) return false;
+  if (line.empty() || line.back() != '}' || pos >= line.size() - 1) {
+    return false;
+  }
+  record.group_json = line.substr(pos, line.size() - 1 - pos);
+  // The group must at least look like a closed object; a truncated
+  // line (interrupted write) fails here.
+  if (record.group_json.front() != '{' || record.group_json.back() != '}') {
+    return false;
+  }
+  *out = record;
+  return true;
+}
+
+std::vector<ShardRecord> load_shard_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open shard file '" + path + "'");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::vector<ShardRecord> records;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ShardRecord record;
+    if (parse_shard_line(lines[i], &record)) {
+      records.push_back(std::move(record));
+    } else if (i + 1 == lines.size()) {
+      // Interrupted write: the final line may be truncated; resuming
+      // recomputes that cell.
+      continue;
+    } else {
+      throw std::invalid_argument("corrupt shard file '" + path +
+                                  "': bad record on line " +
+                                  std::to_string(i + 1));
+    }
+  }
+  return records;
+}
+
+std::string merged_document(const ExperimentSpec& spec,
+                            const std::vector<ShardRecord>& records) {
+  const auto cells = spec.enumerate();
+  const std::string want = spec.hash();
+  std::vector<const ShardRecord*> by_index(cells.size(), nullptr);
+  for (const ShardRecord& record : records) {
+    if (record.spec_hash != want) {
+      throw std::invalid_argument(
+          "spec hash mismatch: record for cell " +
+          std::to_string(record.cell) + " carries " + record.spec_hash +
+          ", this spec is " + want +
+          " (the shard was produced by a different spec)");
+    }
+    if (record.cell >= cells.size()) {
+      throw std::invalid_argument(
+          "cell index " + std::to_string(record.cell) +
+          " out of range (spec enumerates " +
+          std::to_string(cells.size()) + " cells)");
+    }
+    const ShardRecord*& slot = by_index[record.cell];
+    if (slot != nullptr && slot->group_json != record.group_json) {
+      throw std::invalid_argument(
+          "conflicting records for cell " + std::to_string(record.cell));
+    }
+    slot = &record;
+  }
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < by_index.size(); ++i) {
+    if (by_index[i] == nullptr) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::string which;
+    for (std::size_t i = 0; i < missing.size() && i < 8; ++i) {
+      if (i) which += ", ";
+      which += std::to_string(missing[i]);
+    }
+    if (missing.size() > 8) which += ", ...";
+    throw std::invalid_argument(
+        "incomplete merge: " + std::to_string(missing.size()) +
+        " of " + std::to_string(cells.size()) + " cells missing (" +
+        which + ")");
+  }
+
+  std::string out = "{\"groups\":[";
+  for (std::size_t i = 0; i < by_index.size(); ++i) {
+    if (i) out += ',';
+    out += by_index[i]->group_json;
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace dash::exp

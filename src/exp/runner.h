@@ -1,0 +1,101 @@
+// runner.h -- sharded execution of an ExperimentSpec grid.
+//
+// run() walks the spec's deterministic cell list and executes the
+// shard's share (cells with index ≡ shard.index mod shard.count), each
+// cell one api::run_suite over the cell's derived seed. Every finished
+// cell yields a CellResult carrying the cell, its per-instance Metrics,
+// and the cell's serialized BENCH_*.json group -- rendered by the very
+// JsonSummarySink that writes single-process documents, which is what
+// makes reassembled shard output *byte-identical* to a sequential run:
+//
+//   merged_document(spec, all records)            == sequential bytes
+//   merged_document(spec, shard0 ∪ shard1 ∪ ...)  == sequential bytes
+//
+// Shard workers persist records as JSON lines (one ShardRecord per
+// line, stamped with the spec's hash); the same file doubles as the
+// resume manifest -- cells already recorded are skipped on re-run.
+// merge rejects records whose spec hash does not match and documents
+// with missing or conflicting cells.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/metrics.h"
+#include "exp/spec.h"
+
+namespace dash::exp {
+
+/// Which slice of the cell list this process executes: cells with
+/// index ≡ index (mod count). {0, 1} is the whole grid.
+struct ShardOptions {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+struct CellResult {
+  Cell cell;
+  std::vector<api::Metrics> runs;  ///< per-instance snapshots, in order
+  /// The cell's group object exactly as a single-process
+  /// JsonSummarySink document would contain it.
+  std::string group_json;
+};
+
+struct RunnerOptions {
+  ShardOptions shard;
+  /// Worker threads of the per-cell suite pool (one pool shared by
+  /// every cell of the shard): 0 = hardware concurrency, 1 = run
+  /// suites sequentially. Results are identical either way.
+  std::size_t threads = 0;
+  /// Streamed per finished cell, in the shard's cell order -- persist
+  /// shard records here so interrupted sweeps keep completed cells.
+  std::function<void(const CellResult&)> on_cell;
+  /// Cell indices to skip (already completed, from a resume manifest).
+  const std::set<std::size_t>* skip = nullptr;
+};
+
+/// Execute the shard's cells in enumeration order; returns their
+/// results (skipped cells are absent). Throws std::invalid_argument
+/// for malformed shard options and anything spec validation rejects.
+std::vector<CellResult> run(const ExperimentSpec& spec,
+                            const RunnerOptions& opt = {});
+
+/// Render one cell's BENCH group object from its per-instance metrics
+/// (exposed for tests; run() fills CellResult::group_json with it).
+std::string render_group(const ExperimentSpec& spec, const Cell& cell,
+                         const std::vector<api::Metrics>& runs);
+
+// ---- shard record I/O ------------------------------------------------------
+
+/// One persisted cell result: a line of a shard file.
+struct ShardRecord {
+  std::size_t cell = 0;
+  std::string spec_hash;
+  std::string group_json;
+};
+
+ShardRecord to_record(const ExperimentSpec& spec, const CellResult& result);
+
+/// One-line JSON serialization (no trailing newline).
+std::string shard_line(const ShardRecord& record);
+
+/// Strict inverse of shard_line; returns false on malformed input.
+bool parse_shard_line(const std::string& line, ShardRecord* out);
+
+/// Load a shard file's records. A malformed *final* line (interrupted
+/// write) is dropped silently -- that is the resume contract; malformed
+/// interior lines throw std::invalid_argument.
+std::vector<ShardRecord> load_shard_file(const std::string& path);
+
+/// Reassemble the single BENCH_*.json document from shard records.
+/// Order of `records` is irrelevant (cells are sorted by index).
+/// Throws std::invalid_argument when a record's spec hash differs from
+/// spec.hash(), a cell index is out of range, two records disagree
+/// about one cell, or cells are missing.
+std::string merged_document(const ExperimentSpec& spec,
+                            const std::vector<ShardRecord>& records);
+
+}  // namespace dash::exp

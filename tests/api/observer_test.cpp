@@ -211,7 +211,7 @@ TEST(SuiteConfigure, PerInstanceObserversContributeMetrics) {
   cfg.configure = [](Network& net) {
     net.add_observer(std::make_unique<StretchObserver>());
   };
-  const auto results = run_suite(cfg, nullptr);
+  const auto results = run_suite(cfg);
   ASSERT_EQ(results.size(), 3u);
   for (const auto& r : results) EXPECT_GE(r.max_stretch, 1.0);
 }

@@ -281,6 +281,64 @@ TEST(ScenarioPlay, SameSeedSameMetrics) {
 
 // ---- suite determinism -------------------------------------------------
 
+// ---- named presets and size-relative phases ---------------------------
+
+TEST(ScenarioPresets, ParseAndRoundTripByName) {
+  for (const char* name :
+       {"paper-churn", "max-degree-attack", "until-half", "until-quarter"}) {
+    const auto sc = Scenario::parse(name);
+    EXPECT_EQ(sc.spec(), name);
+    EXPECT_EQ(Scenario::parse(sc.spec()).spec(), name);
+  }
+}
+
+TEST(ScenarioPresets, PresetPlaysIdenticallyToItsBody) {
+  // "paper-churn" is sugar for its registered body: same seed, same
+  // engine state, same metrics.
+  auto preset_net = make_net(32, 7);
+  const auto preset = preset_net.play(Scenario::parse("paper-churn"), 7);
+  auto body_net = make_net(32, 7);
+  const auto body = body_net.play(Scenario::parse("churn:0.3,0.1x500"), 7);
+  EXPECT_EQ(preset.deletions, body.deletions);
+  EXPECT_EQ(preset.joins, body.joins);
+  EXPECT_EQ(preset.edges_added, body.edges_added);
+  EXPECT_EQ(preset.max_delta, body.max_delta);
+  EXPECT_EQ(preset_net.graph().num_alive(), body_net.graph().num_alive());
+}
+
+TEST(ScenarioPresets, PresetsTakeNoParameter) {
+  EXPECT_THROW(Scenario::parse("paper-churn:3"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("until-half:0.2"), std::invalid_argument);
+}
+
+TEST(ScenarioPresets, UnknownPhaseErrorListsPresetSpellings) {
+  const std::string msg = what_of("no-such-preset:1");
+  EXPECT_NE(msg.find("paper-churn"), std::string::npos);
+  EXPECT_NE(msg.find("until-quarter"), std::string::npos);
+  EXPECT_NE(msg.find("churn"), std::string::npos);  // primitives too
+}
+
+TEST(ScenarioPlay, UntilFracIsSizeRelative) {
+  const auto sc = Scenario::parse("untilfrac:0.25,maxnode");
+  EXPECT_EQ(sc.spec(), "untilfrac:0.25,maxnode");
+  for (const std::size_t n : {32u, 64u}) {
+    auto net = make_net(n, 8);
+    net.play(sc, 8);
+    EXPECT_EQ(net.graph().num_alive(), n / 4) << "n=" << n;
+  }
+  // Odd sizes round the survivor count up (ceil).
+  auto net = make_net(33, 8);
+  net.play(Scenario::parse("untilfrac:0.5"), 8);
+  EXPECT_EQ(net.graph().num_alive(), 17u);
+}
+
+TEST(ScenarioParse, UntilFracValidatesItsFraction) {
+  EXPECT_THROW(Scenario::parse("untilfrac:0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("untilfrac:1.5"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("untilfrac:"), std::invalid_argument);
+  EXPECT_EQ(Scenario::parse("untilfrac:1").spec(), "untilfrac:1,maxnode");
+}
+
 SuiteConfig churny_suite() {
   SuiteConfig cfg;
   cfg.make_graph = [](Rng& rng) {
@@ -295,9 +353,9 @@ SuiteConfig churny_suite() {
 
 TEST(RunSuite, SequentialAndParallelMetricsAreIdentical) {
   const auto cfg = churny_suite();
-  const auto serial = run_suite(cfg, nullptr);
+  const auto serial = run_suite(cfg);
   dash::util::ThreadPool pool(4);
-  const auto parallel = run_suite(cfg, &pool);
+  const auto parallel = run_suite(cfg, pool);
 
   ASSERT_EQ(serial.size(), 8u);
   ASSERT_EQ(parallel.size(), 8u);
@@ -329,7 +387,11 @@ TEST(RunSuite, SequentialAndParallelSinkBytesAreIdentical) {
     auto cfg = churny_suite();
     cfg.sinks.push_back(&csv);
     cfg.record_rows = true;
-    run_suite(cfg, pool);
+    if (pool != nullptr) {
+      run_suite(cfg, *pool);
+    } else {
+      run_suite(cfg);
+    }
     csv.flush();
     return out.str();
   };
@@ -344,9 +406,9 @@ TEST(RunSuite, DifferentSeedsDiffer) {
   auto cfg = churny_suite();
   cfg.instances = 4;
   cfg.base_seed = 1;
-  const auto a = run_suite(cfg, nullptr);
+  const auto a = run_suite(cfg);
   cfg.base_seed = 2;
-  const auto b = run_suite(cfg, nullptr);
+  const auto b = run_suite(cfg);
   bool any_diff = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     any_diff |= (a[i].edges_added != b[i].edges_added) ||
@@ -366,7 +428,7 @@ TEST(RunSuite, InspectSeesFinalStatesInOrder) {
     EXPECT_EQ(net.rounds(), m.deletions);
   };
   dash::util::ThreadPool pool(3);
-  run_suite(cfg, &pool);
+  run_suite(cfg, pool);
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
 }
 

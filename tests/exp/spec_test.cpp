@@ -1,0 +1,218 @@
+// Tests for exp::ExperimentSpec: parsing (one-line + file forms),
+// validation, canonicalization/hashing, and the deterministic cell
+// enumeration the sharded runner builds on.
+#include "exp/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dash::exp {
+namespace {
+
+TEST(ExperimentSpec, ParsesOneLineForm) {
+  const auto spec = ExperimentSpec::parse_line(
+      "n=64|128 healer=dash|sdash scenario=paper-churn instances=5 seed=7");
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{64, 128}));
+  EXPECT_EQ(spec.healers, (std::vector<std::string>{"dash", "sdash"}));
+  EXPECT_EQ(spec.scenarios, (std::vector<std::string>{"paper-churn"}));
+  EXPECT_EQ(spec.instances, 5u);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.families, (std::vector<std::string>{"ba"}));  // default
+}
+
+TEST(ExperimentSpec, ParsesFileFormWithCommentsAndSpaces) {
+  std::istringstream in(
+      "# demo sweep\n"
+      "name      = demo\n"
+      "family    = ba | tree\n"
+      "n         = 16 | 32\n"
+      "healer    = dash\n"
+      "scenario  = batch:4x3   # trailing comment\n"
+      "\n"
+      "instances = 2\n");
+  const auto spec = ExperimentSpec::parse(in);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.families, (std::vector<std::string>{"ba", "tree"}));
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{16, 32}));
+  EXPECT_EQ(spec.scenarios, (std::vector<std::string>{"batch:4x3"}));
+  EXPECT_EQ(spec.instances, 2u);
+}
+
+TEST(ExperimentSpec, LineAndFileFormsAgree) {
+  const auto line = ExperimentSpec::parse_line(
+      "n=16|32 healer=dash|graph scenario=until-quarter instances=3");
+  std::istringstream in(
+      "n = 16|32\nhealer = dash|graph\nscenario = until-quarter\n"
+      "instances = 3\n");
+  const auto file = ExperimentSpec::parse(in);
+  EXPECT_EQ(line.canonical(), file.canonical());
+  EXPECT_EQ(line.hash(), file.hash());
+}
+
+TEST(ExperimentSpec, CanonicalRoundTripsAndScenariosAreCanonicalized) {
+  const auto spec = ExperimentSpec::parse_line(
+      "n=16 scenario=CHURN:0.3,0.1x50 healer=dash instances=2");
+  const auto again = ExperimentSpec::parse_line(spec.canonical());
+  EXPECT_EQ(spec.canonical(), again.canonical());
+  // The canonical form spells the scenario the way Scenario::spec does.
+  EXPECT_NE(spec.canonical().find("churn:0.3,0.1x50"), std::string::npos);
+}
+
+TEST(ExperimentSpec, HashChangesWithAnyGridAxis) {
+  const auto base = ExperimentSpec::parse_line(
+      "n=16 healer=dash scenario=paper-churn instances=2 seed=1");
+  for (const char* variant :
+       {"n=32 healer=dash scenario=paper-churn instances=2 seed=1",
+        "n=16 healer=sdash scenario=paper-churn instances=2 seed=1",
+        "n=16 healer=dash scenario=until-quarter instances=2 seed=1",
+        "n=16 healer=dash scenario=paper-churn instances=3 seed=1",
+        "n=16 healer=dash scenario=paper-churn instances=2 seed=2"}) {
+    EXPECT_NE(base.hash(), ExperimentSpec::parse_line(variant).hash())
+        << variant;
+  }
+}
+
+TEST(ExperimentSpec, RejectsMalformedInput) {
+  // Unknown key, duplicate key, empty list item, zero counts, bad
+  // token shape, empty spec.
+  EXPECT_THROW(ExperimentSpec::parse_line("n=16 scenario=x bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentSpec::parse_line("n=16 n=32 healer=dash scenario=x"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentSpec::parse_line("n=16| healer=dash scenario=paper-churn"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentSpec::parse_line("n=0 healer=dash scenario=paper-churn"),
+      std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::parse_line(
+                   "n=16 healer=dash scenario=paper-churn instances=0"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::parse_line("n16 healer=dash scenario=x"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::parse_line("   "), std::invalid_argument);
+}
+
+TEST(ExperimentSpec, ValidateResolvesNamesThroughRegistries) {
+  auto parse = [](const std::string& line) {
+    return ExperimentSpec::parse_line(line);
+  };
+  // Unknown healer: the error lists registered spellings.
+  try {
+    parse("n=16 healer=nosuchhealer scenario=paper-churn");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dash"), std::string::npos);
+  }
+  // Unknown scenario phase / preset: ditto, presets included.
+  try {
+    parse("n=16 healer=dash scenario=nosuchpreset");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("paper-churn"), std::string::npos);
+  }
+  // Unknown family and connectivity/labels modes.
+  EXPECT_THROW(parse("n=16 healer=dash scenario=paper-churn family=blob"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse("n=16 healer=dash scenario=paper-churn connectivity=psychic"),
+      std::invalid_argument);
+  EXPECT_THROW(parse("n=16 healer=dash scenario=paper-churn labels=emoji"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, EnumerationIsStableAndContiguous) {
+  const auto spec = ExperimentSpec::parse_line(
+      "family=ba|tree n=16|32 healer=dash|graph "
+      "scenario=paper-churn|until-quarter instances=2 seed=3");
+  const auto cells = spec.enumerate();
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
+  // Family outermost, then n, healer, scenario; indices contiguous.
+  EXPECT_EQ(cells[0].family, "ba");
+  EXPECT_EQ(cells[0].n, 16u);
+  EXPECT_EQ(cells[0].healer, "dash");
+  EXPECT_EQ(cells[0].scenario, "paper-churn");
+  EXPECT_EQ(cells[1].scenario, "until-quarter");
+  EXPECT_EQ(cells[2].healer, "graph");
+  EXPECT_EQ(cells[4].n, 32u);
+  EXPECT_EQ(cells[8].family, "tree");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].instances, 2u);
+  }
+  // Re-enumeration is identical (no hidden state).
+  const auto again = spec.enumerate();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].seed, again[i].seed);
+    EXPECT_EQ(cells[i].scenario, again[i].scenario);
+  }
+}
+
+TEST(ExperimentSpec, CellSeedsArePairedAcrossHealersAndScenarios) {
+  const auto spec = ExperimentSpec::parse_line(
+      "n=16|32 healer=dash|graph scenario=paper-churn|until-quarter "
+      "instances=2 seed=3");
+  const auto cells = spec.enumerate();
+  for (const Cell& cell : cells) {
+    for (const Cell& other : cells) {
+      if (cell.n == other.n) {
+        EXPECT_EQ(cell.seed, other.seed)
+            << "cells at the same size must draw identical instance "
+               "streams (paired comparison)";
+      }
+    }
+  }
+  EXPECT_NE(cells.front().seed, cells.back().seed);
+}
+
+TEST(ExperimentSpec, LabelsModeControlsStrategyLabel) {
+  const auto display = ExperimentSpec::parse_line(
+      "n=16 healer=dash scenario=paper-churn");
+  EXPECT_EQ(display.enumerate()[0].strategy_label, "DASH");
+  const auto raw = ExperimentSpec::parse_line(
+      "n=16 healer=dash scenario=paper-churn labels=spec");
+  EXPECT_EQ(raw.enumerate()[0].strategy_label, "dash");
+}
+
+TEST(ExperimentSpec, CellLabelsElideDefaultFamily) {
+  const auto spec = ExperimentSpec::parse_line(
+      "n=16 healer=dash scenario=paper-churn");
+  EXPECT_FALSE(spec.label_family());
+  const auto labels = spec.enumerate()[0].labels(spec.label_family());
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0].first, "n");
+  EXPECT_EQ(labels[1].first, "strategy");
+  EXPECT_EQ(labels[2].first, "scenario");
+
+  const auto tree = ExperimentSpec::parse_line(
+      "n=16 family=tree healer=dash scenario=paper-churn");
+  EXPECT_TRUE(tree.label_family());
+  EXPECT_EQ(tree.enumerate()[0].labels(true)[0].first, "family");
+}
+
+TEST(MakeFamily, KnownFamiliesProduceGraphsOfRequestedSize) {
+  util::Rng rng(99);
+  for (const auto& family : family_names()) {
+    auto make = make_family(family, 24, 2);
+    const auto g = make(rng);
+    EXPECT_EQ(g.num_alive(), 24u) << family;
+  }
+}
+
+TEST(MakeFamily, UnknownFamilyErrorListsNames) {
+  try {
+    make_family("hypercube", 16, 2);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ba"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dash::exp

@@ -102,7 +102,7 @@ RunResult run_config(const std::string& spec, const std::string& healer,
 
   if (parallel) {
     dash::util::ThreadPool pool(4);
-    out.metrics = run_suite(cfg, &pool);
+    out.metrics = run_suite(cfg, pool);
   } else {
     out.metrics = run_suite(cfg);
   }

@@ -92,7 +92,7 @@ double mean_max_delta(const char* healer, std::size_t n,
   cfg.scenario = api::Scenario().targeted("neighborofmax");
   cfg.instances = instances;
   cfg.base_seed = 0x5EED;
-  const auto results = api::run_suite(cfg, nullptr);
+  const auto results = api::run_suite(cfg);
   return api::summarize_metric(results, [](const auto& r) {
     return static_cast<double>(r.max_delta);
   }).mean;

@@ -1,0 +1,323 @@
+// dash_lab.cpp -- unified experiment-orchestration CLI over the exp
+// layer: describe a sweep once (spec file or one-line grid), then run
+// it sequentially, sharded across worker processes, or shard-by-shard
+// on different machines, and merge the per-shard records back into the
+// single BENCH_*.json document a sequential run would have written --
+// byte-identical, whichever path produced it.
+//
+//   dash_lab list-cells --grid 'n=64|128 healer=dash|sdash scenario=paper-churn'
+//   dash_lab run  --spec sweep.spec --json BENCH_sweep.json
+//   dash_lab run  --spec sweep.spec --workers 4 --json BENCH_sweep.json
+//   dash_lab run  --spec sweep.spec --shard 0/2 --out shards/s0.jsonl
+//   dash_lab run  --spec sweep.spec --shard 1/2 --out shards/s1.jsonl
+//   dash_lab merge --spec sweep.spec --json BENCH_sweep.json
+//       --inputs shards/s0.jsonl,shards/s1.jsonl
+//
+// Shard record files double as resume manifests: re-running with
+// --resume skips every cell already recorded (the orchestrator
+// forwards the flag to its workers), so an interrupted sweep finishes
+// from where it stopped instead of recomputing.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/orchestrator.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "util/cli.h"
+
+namespace {
+
+using dash::exp::Cell;
+using dash::exp::ExperimentSpec;
+
+struct LabOptions {
+  std::string spec_path;   ///< --spec FILE
+  std::string grid;        ///< --grid "one-line spec"
+  std::string shard;       ///< --shard I/N
+  std::string out;         ///< --out shard record file
+  std::string json;        ///< --json merged document path
+  std::string inputs;      ///< --inputs comma-separated shard files
+  std::string shard_dir = "dash_lab_shards";
+  std::uint64_t workers = 0;
+  std::uint64_t threads = 0;
+  bool resume = false;
+  bool quiet = false;
+};
+
+int usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: dash_lab <run|merge|list-cells> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  run         execute the grid: sequentially, as one shard\n"
+      "              (--shard I/N --out FILE), or across worker\n"
+      "              processes (--workers N)\n"
+      "  merge       reassemble shard record files (--inputs a,b,...)\n"
+      "              into the single BENCH_*.json document\n"
+      "  list-cells  print the grid's deterministic cell enumeration\n"
+      "\n"
+      "pass --help after a subcommand for its options\n");
+  return to == stdout ? 0 : 2;
+}
+
+/// The experiment, from --spec or --grid (exactly one required).
+ExperimentSpec load_spec(const LabOptions& opt) {
+  if (opt.spec_path.empty() == opt.grid.empty()) {
+    throw std::invalid_argument(
+        "need exactly one of --spec <file> or --grid '<one-line spec>'");
+  }
+  return opt.spec_path.empty() ? ExperimentSpec::parse_line(opt.grid)
+                               : ExperimentSpec::parse_file(opt.spec_path);
+}
+
+void parse_shard(const std::string& text, dash::exp::ShardOptions* out) {
+  const auto slash = text.find('/');
+  std::size_t index_end = 0, count_end = 0;
+  try {
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+      throw std::invalid_argument("");
+    }
+    out->index = std::stoul(text.substr(0, slash), &index_end);
+    out->count = std::stoul(text.substr(slash + 1), &count_end);
+  } catch (const std::exception&) {
+    index_end = count_end = std::string::npos;
+  }
+  if (index_end != slash || count_end != text.size() - slash - 1 ||
+      out->count == 0 || out->index >= out->count) {
+    throw std::invalid_argument("bad --shard '" + text +
+                                "' (expected I/N with 0 <= I < N)");
+  }
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Write the merged document to --json, or stdout without it.
+void emit_document(const LabOptions& opt, const std::string& doc) {
+  if (opt.json.empty()) {
+    std::cout << doc;
+    return;
+  }
+  std::ofstream out(opt.json);
+  if (!out) {
+    throw std::runtime_error("cannot open --json path '" + opt.json + "'");
+  }
+  out << doc;
+  if (!opt.quiet) {
+    std::fprintf(stderr, "merged summary written to %s\n",
+                 opt.json.c_str());
+  }
+}
+
+// ---- subcommands -----------------------------------------------------------
+
+int cmd_list_cells(const LabOptions& opt) {
+  const ExperimentSpec spec = load_spec(opt);
+  const auto cells = spec.enumerate();
+  std::cout << "spec: " << spec.canonical() << "\n"
+            << "hash: " << spec.hash() << "\n"
+            << "cells: " << cells.size() << "\n";
+  for (const Cell& cell : cells) {
+    std::cout << "  [" << cell.index << "] family=" << cell.family
+              << " n=" << cell.n << " healer=" << cell.healer
+              << " scenario=" << cell.scenario << " seed=" << cell.seed
+              << " instances=" << cell.instances << "\n";
+  }
+  return 0;
+}
+
+/// In-process execution of one shard (the worker side of the
+/// orchestrator, and the whole grid when no --shard was given).
+int cmd_run_in_process(const LabOptions& opt, const ExperimentSpec& spec) {
+  dash::exp::RunnerOptions ropt;
+  if (!opt.shard.empty()) parse_shard(opt.shard, &ropt.shard);
+  ropt.threads = static_cast<std::size_t>(opt.threads);
+  if (!opt.shard.empty() && opt.out.empty()) {
+    throw std::invalid_argument(
+        "--shard needs --out <file> to persist the shard's records");
+  }
+  if (ropt.shard.count > 1 && !opt.json.empty()) {
+    throw std::invalid_argument(
+        "--json needs the whole grid; run the other shards and use "
+        "'dash_lab merge'");
+  }
+
+  // Resume manifest: cells already recorded in --out are skipped; their
+  // records merge with the new ones. A record from a different spec is
+  // an error, not a silent recompute.
+  std::set<std::size_t> skip;
+  std::vector<dash::exp::ShardRecord> records;
+  if (opt.resume && !opt.out.empty() && std::ifstream(opt.out).good()) {
+    records = dash::exp::load_shard_file(opt.out);
+    const std::string want = spec.hash();
+    for (const auto& record : records) {
+      if (record.spec_hash != want) {
+        throw std::invalid_argument(
+            "resume file '" + opt.out + "' carries spec hash " +
+            record.spec_hash + ", this spec is " + want +
+            " -- remove it or fix the spec");
+      }
+      skip.insert(record.cell);
+    }
+  }
+  if (!skip.empty()) ropt.skip = &skip;
+
+  std::ofstream shard_out;
+  if (!opt.out.empty()) {
+    // Always rewrite from the parsed records: an interrupted writer may
+    // have left a truncated, newline-less final line that plain append
+    // would concatenate the next record onto.
+    shard_out.open(opt.out, std::ios::trunc);
+    if (!shard_out) {
+      throw std::runtime_error("cannot open --out path '" + opt.out + "'");
+    }
+    for (const auto& record : records) {
+      shard_out << dash::exp::shard_line(record) << "\n";
+    }
+    shard_out.flush();
+  }
+
+  const std::size_t total = spec.enumerate().size();
+  ropt.on_cell = [&](const dash::exp::CellResult& result) {
+    if (shard_out.is_open()) {
+      shard_out << dash::exp::shard_line(
+                       dash::exp::to_record(spec, result))
+                << "\n";
+      shard_out.flush();  // every finished cell survives an interrupt
+    }
+    records.push_back(dash::exp::to_record(spec, result));
+    if (!opt.quiet) {
+      std::fprintf(stderr, "  [%zu/%zu] n=%zu healer=%s scenario=%s\n",
+                   result.cell.index + 1, total, result.cell.n,
+                   result.cell.healer.c_str(),
+                   result.cell.scenario.c_str());
+    }
+  };
+  dash::exp::run(spec, ropt);
+
+  // A full in-process grid can emit the merged document directly; a
+  // true shard cannot (its records are a strict subset), which the
+  // preflight check above already rejected.
+  if (ropt.shard.count == 1 && (!opt.json.empty() || opt.out.empty())) {
+    emit_document(opt, dash::exp::merged_document(spec, records));
+  }
+  return 0;
+}
+
+int cmd_run(const LabOptions& opt, const char* argv0) {
+  const ExperimentSpec spec = load_spec(opt);
+  if (opt.workers == 0) return cmd_run_in_process(opt, spec);
+
+  if (!opt.shard.empty() || !opt.out.empty()) {
+    throw std::invalid_argument(
+        "--workers spawns its own shards; drop --shard/--out");
+  }
+  dash::exp::OrchestrateOptions oopt;
+  oopt.exe = dash::exp::current_executable(argv0);
+  oopt.spec_args = opt.spec_path.empty()
+                       ? std::vector<std::string>{"--grid", opt.grid}
+                       : std::vector<std::string>{"--spec", opt.spec_path};
+  if (opt.quiet) oopt.spec_args.push_back("--quiet");
+  oopt.workers = static_cast<std::size_t>(opt.workers);
+  oopt.shard_dir = opt.shard_dir;
+  oopt.resume = opt.resume;
+  oopt.threads = static_cast<std::size_t>(opt.threads);
+  emit_document(opt, dash::exp::orchestrate(spec, oopt));
+  return 0;
+}
+
+int cmd_merge(const LabOptions& opt) {
+  const ExperimentSpec spec = load_spec(opt);
+  if (opt.inputs.empty()) {
+    throw std::invalid_argument(
+        "merge needs --inputs <shard.jsonl,shard.jsonl,...>");
+  }
+  std::vector<dash::exp::ShardRecord> records;
+  for (const std::string& path : split_commas(opt.inputs)) {
+    const auto shard = dash::exp::load_shard_file(path);
+    records.insert(records.end(), shard.begin(), shard.end());
+  }
+  emit_document(opt, dash::exp::merged_document(spec, records));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(stdout);
+  if (cmd != "run" && cmd != "merge" && cmd != "list-cells") {
+    std::fprintf(stderr, "dash_lab: unknown subcommand '%s'\n\n",
+                 cmd.c_str());
+    return usage(stderr);
+  }
+
+  LabOptions lab;
+  dash::util::Options opt("dash_lab " + cmd +
+                          " -- experiment grids, sharded execution and "
+                          "byte-stable merges");
+  opt.add_string("spec", &lab.spec_path, "experiment spec file");
+  opt.add_string("grid", &lab.grid,
+                 "one-line spec, e.g. 'n=64|128 healer=dash|sdash "
+                 "scenario=paper-churn instances=5'");
+  if (cmd == "run") {
+    opt.add_string("shard", &lab.shard,
+                   "run only cells of shard I/N (requires --out)");
+    opt.add_string("out", &lab.out, "shard record file (JSON lines)");
+    opt.add_uint("workers", &lab.workers,
+                 "spawn N worker processes and merge their shards "
+                 "(0 = run in-process)");
+    opt.add_string("shard-dir", &lab.shard_dir,
+                   "shard record directory for --workers");
+    opt.add_flag("resume", &lab.resume,
+                 "skip cells already recorded in the shard file(s)");
+    opt.add_uint("threads", &lab.threads,
+                 "suite worker threads per process (0 = hardware "
+                 "concurrency, 1 = sequential)");
+  }
+  if (cmd == "merge") {
+    opt.add_string("inputs", &lab.inputs,
+                   "comma-separated shard record files");
+  }
+  if (cmd != "list-cells") {
+    opt.add_string("json", &lab.json,
+                   "write the merged BENCH_*.json here (default: stdout "
+                   "for whole-grid runs)");
+    opt.add_flag("quiet", &lab.quiet, "suppress progress on stderr");
+  }
+
+  // Options sees the subcommand's argv: argv[0] plus argv[2:].
+  std::vector<char*> sub_argv{argv[0]};
+  for (int i = 2; i < argc; ++i) sub_argv.push_back(argv[i]);
+  if (!opt.parse(static_cast<int>(sub_argv.size()), sub_argv.data())) {
+    return opt.help_requested() ? 0 : 2;
+  }
+
+  try {
+    if (cmd == "list-cells") return cmd_list_cells(lab);
+    if (cmd == "merge") return cmd_merge(lab);
+    return cmd_run(lab, argv[0]);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "dash_lab %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dash_lab %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
