@@ -8,12 +8,14 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/stretch.h"
 #include "api/api.h"
 #include "graph/dynamic_connectivity.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "graph/union_find.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -40,6 +42,24 @@ void BM_GraphAddRemoveEdge(benchmark::State& state) {
 BENCHMARK(BM_GraphAddRemoveEdge)->Arg(1024)->Arg(16384);
 
 void BM_BfsDistances(benchmark::State& state) {
+  // The traversal hot path as the stretch/invariant consumers drive it:
+  // the graph's cached CSR snapshot plus a reusable scratch -- no
+  // allocation per call.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Graph g = dash::graph::barabasi_albert(n, 2, rng);
+  const dash::graph::FlatView& view = g.flat_view();
+  dash::graph::TraversalScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dash::graph::bfs_distances(view, 0, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BfsDistances)->Arg(1024)->Arg(8192);
+
+void BM_BfsDistancesLegacy(benchmark::State& state) {
+  // The historical signature: same engine underneath, plus the
+  // per-call materialization of the full distance vector.
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
   const Graph g = dash::graph::barabasi_albert(n, 2, rng);
@@ -48,7 +68,44 @@ void BM_BfsDistances(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_BfsDistances)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_BfsDistancesLegacy)->Arg(1024)->Arg(8192);
+
+void BM_StretchSample(benchmark::State& state) {
+  // One full stretch sample (max+average in a single APSP pass) on a
+  // static BA graph with 10% of the nodes deleted and path-healed:
+  // the per-sample cost Fig. 10 pays every sampled round. range(1) is
+  // the worker count (0 = sequential path).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  Graph g = dash::graph::barabasi_albert(n, 2, rng);
+  const dash::analysis::StretchTracker tracker(g);
+  for (std::size_t i = 0; i < n / 10; ++i) {
+    const auto alive = g.alive_nodes();
+    const auto survivors = g.delete_node(
+        alive[static_cast<std::size_t>(rng.below(alive.size()))]);
+    for (std::size_t j = 1; j < survivors.size(); ++j) {
+      g.add_edge(survivors[j - 1], survivors[j]);
+    }
+  }
+  std::optional<dash::util::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  double sample = 0.0;
+  for (auto _ : state) {
+    const auto stats =
+        pool ? tracker.stretch_stats(g, *pool) : tracker.stretch_stats(g);
+    sample = stats.max;
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_alive());
+  state.SetLabel(workers == 0 ? "seq" : std::to_string(workers) + "w");
+}
+BENCHMARK(BM_StretchSample)
+    ->Args({1024, 0})
+    ->Args({1024, 4})
+    ->Args({4096, 0})
+    ->Args({4096, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_UnionFind(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,42 @@
+# stretch_baseline_smoke.cmake -- the stretch-metric regression guard,
+# run as a ctest (`ctest -L bench-smoke`). Re-executes the committed
+# fig10-style dash_lab grid and byte-compares the merged BENCH document
+# against BENCH_stretch_baseline.json at the repo root. The document
+# carries metrics only (no timings), so any diff is a *metric* change:
+# the flat traversal engine, the wave-based stretch sampler, and every
+# future rewrite of that path must keep these bytes stable.
+#
+#   cmake -DDASH_LAB=<binary> -DWORK_DIR=<scratch> -DBASELINE=<json>
+#         -P stretch_baseline_smoke.cmake
+if(NOT DASH_LAB OR NOT WORK_DIR OR NOT BASELINE)
+  message(FATAL_ERROR
+          "need -DDASH_LAB=<binary> -DWORK_DIR=<dir> -DBASELINE=<json>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# The grid that produced BENCH_stretch_baseline.json: the Fig. 10
+# workload (BA graphs, MaxNode attack to half size, stretch sampled
+# every 4th deletion) over the paper's five strategies.
+set(GRID "name=stretch_baseline n=32|64|128 healer=graph|line|binarytree|dash|sdash scenario=untilfrac:0.5,maxnode stretch_every=4 instances=3 seed=3419")
+
+execute_process(COMMAND ${DASH_LAB} run --grid ${GRID} --threads 1
+                        --quiet --json ${WORK_DIR}/stretch_rerun.json
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dash_lab stretch grid failed (${rc}):\n${err}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/stretch_rerun.json ${BASELINE}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "stretch metrics drifted: ${WORK_DIR}/stretch_rerun.json no "
+          "longer matches ${BASELINE}. If the change is intentional, "
+          "regenerate the baseline with:\n  dash_lab run --grid "
+          "\"${GRID}\" --threads 1 --quiet --json BENCH_stretch_baseline.json")
+endif()
+
+message(STATUS "stretch baseline bytes OK")

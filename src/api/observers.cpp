@@ -107,7 +107,11 @@ void StretchObserver::on_round_end(const Network& net,
   // connectivity scan, and stretch is undefined on a disconnected
   // network anyway.
   if (!due || !ev.connected()) return;
-  last_sample_ = tracker_->max_stretch(net.graph());
+  const analysis::StretchStats stats =
+      pool_ != nullptr ? tracker_->stretch_stats(net.graph(), *pool_)
+                       : tracker_->stretch_stats(net.graph());
+  last_sample_ = stats.max;
+  last_average_ = stats.average;
   max_stretch_ = std::max(max_stretch_, last_sample_);
   sampled_last_round_ = true;
 }

@@ -25,6 +25,10 @@
 #include "api/network.h"
 #include "api/observer.h"
 
+namespace dash::util {
+class ThreadPool;
+}
+
 namespace dash::api {
 
 struct InvariantOptions {
@@ -101,6 +105,8 @@ class ComponentObserver final : public Observer {
 /// Samples the Section 4.6.1 stretch metric against the time-0 network
 /// every `sample_every`-th deletion (stretch costs O(n*m) per sample).
 /// `sample_every == 0` is clamped to 1. Needs O(n^2) baseline memory.
+/// Each sample is one single-pass analysis::StretchTracker::
+/// stretch_stats() -- max and average together, never APSP twice.
 ///
 /// Stretch is only defined relative to the frozen time-0 distances, so
 /// sampling stops permanently once a join grows the node-id space (the
@@ -108,8 +114,16 @@ class ComponentObserver final : public Observer {
 /// the pre-join maximum.
 class StretchObserver final : public Observer {
  public:
-  explicit StretchObserver(std::size_t sample_every = 1)
-      : sample_every_(sample_every == 0 ? 1 : sample_every) {}
+  /// `pool`, when given, fans every sample's BFS waves across its
+  /// workers (bit-identical values; see StretchTracker). Sharing the
+  /// suite's own pool is safe -- parallel_for has the caller help, so
+  /// a sample fired from a pool worker cannot deadlock -- but extra
+  /// wall-clock wins only materialize when workers are otherwise idle;
+  /// fully loaded suites should leave this null.
+  explicit StretchObserver(std::size_t sample_every = 1,
+                           dash::util::ThreadPool* pool = nullptr)
+      : sample_every_(sample_every == 0 ? 1 : sample_every),
+        pool_(pool) {}
 
   std::string name() const override { return "stretch"; }
   void on_attach(const Network& net) override;
@@ -120,15 +134,20 @@ class StretchObserver final : public Observer {
   double max_stretch() const { return max_stretch_; }
   /// Last sampled value (0 before the first sample).
   double last_sample() const { return last_sample_; }
+  /// Average stretch of the last sample (0 before the first sample);
+  /// rides along with the max in the same APSP pass.
+  double last_average() const { return last_average_; }
   bool sampled_last_round() const { return sampled_last_round_; }
   /// False once a join froze sampling.
   bool active() const { return active_; }
 
  private:
   std::size_t sample_every_;
+  dash::util::ThreadPool* pool_;
   std::optional<analysis::StretchTracker> tracker_;
   double max_stretch_ = 0.0;
   double last_sample_ = 0.0;
+  double last_average_ = 0.0;
   bool sampled_last_round_ = false;
   bool active_ = true;
 };

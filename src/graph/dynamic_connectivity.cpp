@@ -1,5 +1,7 @@
 #include "graph/dynamic_connectivity.h"
 
+#include <span>
+
 #include "util/check.h"
 
 namespace dash::graph {
@@ -166,31 +168,38 @@ void DynamicConnectivity::flush() {
   // One BFS group per piece, discovered from the alive seeds. The
   // invariant in the header guarantees the groups cover every alive
   // member of every set the union-find may be holding too coarse.
-  std::vector<std::vector<NodeId>> groups;
-  std::size_t scanned = 0;
+  // Groups live packed in scan_nodes_ (scan_offsets_ delimits them) --
+  // persistent flat buffers, so the re-scan allocates nothing once
+  // warm, matching the zero-alloc traversal engine.
+  scan_nodes_.clear();
+  scan_offsets_.clear();
+  scan_offsets_.push_back(0);
   for (NodeId s : seeds_) {
     is_seed_[s] = 0;
     if (!g_->alive(s) || visit_epoch_[s] == epoch_) continue;
-    groups.emplace_back();
-    std::vector<NodeId>& group = groups.back();
     visit_epoch_[s] = epoch_;
-    group.push_back(s);
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      for (NodeId u : g_->neighbors(group[i])) {
+    scan_nodes_.push_back(s);
+    for (std::size_t i = scan_offsets_.back(); i < scan_nodes_.size(); ++i) {
+      for (NodeId u : g_->neighbors(scan_nodes_[i])) {
         if (visit_epoch_[u] != epoch_) {
           visit_epoch_[u] = epoch_;
-          group.push_back(u);
+          scan_nodes_.push_back(u);
         }
       }
     }
-    scanned += group.size();
+    scan_offsets_.push_back(scan_nodes_.size());
   }
   seeds_.clear();
+  const std::size_t groups = scan_offsets_.size() - 1;
+  auto group = [this](std::size_t i) {
+    return std::span<const NodeId>(scan_nodes_.data() + scan_offsets_[i],
+                                   scan_offsets_[i + 1] - scan_offsets_[i]);
+  };
 
   // Dissolve the affected sets' books first (roots must be read before
   // any reroot rewrites them), then install the exact new partition.
-  for (const std::vector<NodeId>& group : groups) {
-    for (NodeId u : group) {
+  for (std::size_t i = 0; i < groups; ++i) {
+    for (NodeId u : group(i)) {
       const NodeId r = uf_.find(u);
       if (root_epoch_[r] == epoch_) continue;
       root_epoch_[r] = epoch_;
@@ -199,15 +208,17 @@ void DynamicConnectivity::flush() {
       --components_;
     }
   }
-  for (const std::vector<NodeId>& group : groups) {
-    uf_.reroot(group);
-    alive_size_[group.front()] = static_cast<std::uint32_t>(group.size());
-    hist_add(group.size());
+  for (std::size_t i = 0; i < groups; ++i) {
+    const std::span<const NodeId> members = group(i);
+    uf_.reroot(members);
+    alive_size_[members.front()] =
+        static_cast<std::uint32_t>(members.size());
+    hist_add(members.size());
     ++components_;
   }
 
   ++rebuilds_;
-  nodes_rescanned_ += scanned;
+  nodes_rescanned_ += scan_nodes_.size();
 }
 
 }  // namespace dash::graph

@@ -128,6 +128,10 @@ class DynamicConnectivity {
   std::vector<std::uint64_t> visit_epoch_;
   std::vector<std::uint64_t> root_epoch_;
   std::uint64_t epoch_ = 0;
+  /// Re-scan workspace: the flush BFS packs its groups here
+  /// (scan_offsets_ delimits them), reused across flushes.
+  std::vector<NodeId> scan_nodes_;
+  std::vector<std::size_t> scan_offsets_;
 
   std::size_t rebuilds_ = 0;
   std::size_t nodes_rescanned_ = 0;

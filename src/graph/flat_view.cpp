@@ -1,0 +1,29 @@
+#include "graph/flat_view.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace dash::graph {
+
+void FlatView::rebuild(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  offsets_.assign(n + 1, 0);
+  alive_.clear();
+  alive_.reserve(g.num_alive());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!g.alive(v)) continue;
+    alive_.push_back(v);
+    offsets_[v + 1] = static_cast<std::uint32_t>(g.degree(v));
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  edges_.resize(offsets_[n]);
+  for (NodeId v : alive_) {
+    const auto& nbrs = g.neighbors(v);
+    std::copy(nbrs.begin(), nbrs.end(), edges_.begin() + offsets_[v]);
+  }
+  generation_ = g.generation();
+  valid_ = true;
+}
+
+}  // namespace dash::graph

@@ -1,0 +1,70 @@
+// flat_view.h -- CSR (compressed sparse row) snapshot of a Graph's
+// alive subgraph: one offsets array plus one packed neighbor array,
+// the cache-friendly layout every hot traversal runs on.
+//
+// A FlatView is a *snapshot*: it is stamped with the generation of the
+// Graph it was built from and must be rebuilt after any mutation. The
+// canonical instance is the one Graph itself caches (Graph::flat_view()
+// rebuilds lazily on generation mismatch), so repeated traversals
+// between mutations -- an APSP stretch sample, the invariant battery,
+// a components labelling -- all share a single rebuild.
+//
+// Reads of a *fresh* view are safe from any number of threads (the
+// parallel stretch path hands one view to every worker); the lazy
+// rebuild itself is not synchronized, so ensure freshness (call
+// Graph::flat_view() once) before fanning out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dash::graph {
+
+class Graph;
+
+class FlatView {
+ public:
+  /// True when this snapshot was built from a graph at `generation`.
+  bool matches(std::uint64_t generation) const {
+    return valid_ && generation_ == generation;
+  }
+
+  /// Rebuild the CSR arrays from g's current alive subgraph and stamp
+  /// the view with g.generation(). O(n + m); buffers are reused, so a
+  /// long-lived view allocates only when the graph outgrows it.
+  void rebuild(const Graph& g);
+
+  /// Node-id space of the snapshot (alive + dead, like Graph).
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_alive() const { return alive_.size(); }
+
+  /// Packed sorted neighbors of v (empty for dead nodes).
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {edges_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Total directed adjacency entries (2m) -- the BFS direction
+  /// heuristic budgets against it.
+  std::size_t num_edge_entries() const { return edges_.size(); }
+
+  std::size_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Alive node ids, ascending -- cached at rebuild, so per-sample
+  /// consumers (the stretch tracker) stop re-allocating the list.
+  const std::vector<NodeId>& alive_nodes() const { return alive_; }
+
+ private:
+  bool valid_ = false;
+  std::uint64_t generation_ = 0;
+  std::vector<std::uint32_t> offsets_;  ///< n+1 prefix sums of degrees
+  std::vector<NodeId> edges_;           ///< 2m packed neighbor ids
+  std::vector<NodeId> alive_;           ///< alive ids, ascending
+};
+
+}  // namespace dash::graph

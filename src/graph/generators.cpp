@@ -16,6 +16,10 @@ Graph barabasi_albert(std::size_t n, std::size_t edges_per_node, Rng& rng) {
   DASH_CHECK_MSG(n > m, "BA needs n > edges_per_node");
 
   Graph g(n);
+  // Every node attaches with m edges, so m is the floor (and the mode)
+  // of the final degree distribution: pre-sizing the adjacency vectors
+  // to it skips the first growth reallocations for every node.
+  for (NodeId v = 0; v < n; ++v) g.reserve_neighbors(v, m);
   // Endpoint list: every edge contributes both endpoints, so sampling a
   // uniform element is sampling a node proportionally to its degree.
   std::vector<NodeId> endpoints;
@@ -145,6 +149,7 @@ Graph star_graph(std::size_t n) {
 
 Graph complete_graph(std::size_t n) {
   Graph g(n);
+  for (NodeId a = 0; a < n; ++a) g.reserve_neighbors(a, n - 1);
   for (NodeId a = 0; a < n; ++a)
     for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
   return g;
@@ -167,6 +172,8 @@ Graph grid_graph(std::size_t rows, std::size_t cols) {
 Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
   DASH_CHECK_MSG(k >= 1 && 2 * k < n, "watts_strogatz needs 2k < n");
   Graph g(n);
+  // Ring lattice degree is exactly 2k before rewiring.
+  for (NodeId v = 0; v < n; ++v) g.reserve_neighbors(v, 2 * k);
   // Ring lattice: each node connected to k neighbors on each side.
   for (NodeId v = 0; v < n; ++v) {
     for (std::size_t j = 1; j <= k; ++j) {

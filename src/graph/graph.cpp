@@ -18,6 +18,7 @@ NodeId Graph::add_node() {
   adjacency_.emplace_back();
   alive_.push_back(true);
   ++alive_count_;
+  ++generation_;
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -47,6 +48,7 @@ bool Graph::add_edge(NodeId a, NodeId b) {
   if (!inserted) return false;
   sorted_insert(adjacency_[b], a);
   ++edge_count_;
+  ++generation_;
   return true;
 }
 
@@ -57,6 +59,7 @@ bool Graph::remove_edge(NodeId a, NodeId b) {
   if (!removed) return false;
   sorted_erase(adjacency_[b], a);
   --edge_count_;
+  ++generation_;
   return true;
 }
 
@@ -77,7 +80,18 @@ std::vector<NodeId> Graph::delete_node(NodeId v) {
   edge_count_ -= former_neighbors.size();
   alive_[v] = false;
   --alive_count_;
+  ++generation_;
   return former_neighbors;
+}
+
+void Graph::reserve_neighbors(NodeId v, std::size_t expected) {
+  check_alive(v);
+  adjacency_[v].reserve(expected);
+}
+
+const FlatView& Graph::flat_view() const {
+  if (!view_.matches(generation_)) view_.rebuild(*this);
+  return view_;
 }
 
 const std::vector<NodeId>& Graph::neighbors(NodeId v) const {

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "graph/flat_view.h"
 #include "graph/types.h"
 
 namespace dash::graph {
@@ -56,8 +58,27 @@ class Graph {
 
   std::size_t degree(NodeId v) const { return neighbors(v).size(); }
 
-  /// All alive node ids, ascending.
+  /// Pre-size v's adjacency vector for `expected` neighbors. Capacity
+  /// only -- topology, degree, and the generation are untouched.
+  /// Generators with known degree structure (Barabasi-Albert adds m
+  /// edges per node) use this to skip incremental reallocation.
+  void reserve_neighbors(NodeId v, std::size_t expected);
+
+  /// All alive node ids, ascending. Allocates per call; traversal-heavy
+  /// readers should use flat_view().alive_nodes() instead.
   std::vector<NodeId> alive_nodes() const;
+
+  /// Monotone mutation counter: bumped by every topology change (node
+  /// add/delete, edge insert/erase). Snapshots key their freshness on
+  /// it.
+  std::uint64_t generation() const { return generation_; }
+
+  /// The graph's cached CSR snapshot, rebuilt lazily when stale --
+  /// every traversal between two mutations shares one rebuild. The
+  /// returned view is valid until the next mutation. Not synchronized:
+  /// concurrent readers must ensure freshness (call this once) before
+  /// sharing the view across threads.
+  const FlatView& flat_view() const;
 
   /// Structural equality on the alive subgraph (same alive set + edges).
   bool same_topology(const Graph& other) const;
@@ -69,6 +90,8 @@ class Graph {
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
   std::size_t edge_count_ = 0;
+  std::uint64_t generation_ = 0;
+  mutable FlatView view_;  ///< lazy CSR cache, stamped by generation_
 };
 
 }  // namespace dash::graph

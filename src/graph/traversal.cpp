@@ -1,61 +1,165 @@
 #include "graph/traversal.h"
 
 #include <algorithm>
-#include <deque>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace dash::graph {
 
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
-  DASH_CHECK(g.alive(src));
-  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<NodeId> frontier;
-  dist[src] = 0;
-  frontier.push_back(src);
-  while (!frontier.empty()) {
-    const NodeId v = frontier.front();
-    frontier.pop_front();
-    const std::uint32_t next = dist[v] + 1;
-    for (NodeId u : g.neighbors(v)) {
-      if (dist[u] == kUnreachable) {
-        dist[u] = next;
-        frontier.push_back(u);
-      }
-    }
+void TraversalScratch::begin(std::size_t n) {
+  if (stamp_.size() < n) {
+    stamp_.resize(n, 0);
+    dist_.resize(n);
+    // One slot of slack: the branchless top-down loop stores
+    // queue[tail] unconditionally, so a stale edge check after the
+    // final node is discovered touches (but never keeps) index n.
+    frontier_.resize(n + 1);
+    frontier_bits_.resize((n + 63) / 64, 0);
+    unvisited_.resize(n);
   }
-  return dist;
+  if (++epoch_ == 0) {
+    // The 8-bit epoch wrapped: one wholesale clear every 255
+    // traversals, O(n)/255 amortized per call.
+    std::fill(stamp_.begin(), stamp_.end(), std::uint8_t{0});
+    epoch_ = 1;
+  }
+  visited_count_ = 0;
 }
 
-std::uint32_t bfs_distance(const Graph& g, NodeId src, NodeId dst) {
-  DASH_CHECK(g.alive(src) && g.alive(dst));
-  if (src == dst) return 0;
-  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<NodeId> frontier;
+// ---- flat engine -----------------------------------------------------
+
+std::size_t bfs_distances(const FlatView& view, NodeId src,
+                          TraversalScratch& scratch) {
+  scratch.begin(view.num_nodes());
+  auto* dist = scratch.dist_.data();
+  auto* stamp = scratch.stamp_.data();
+  auto* queue = scratch.frontier_.data();
+  const std::uint8_t epoch = scratch.epoch_;
+
+  // Level-synchronous, direction-optimizing loop (Beamer's hybrid):
+  // sparse frontiers expand top-down (scan the frontier's adjacency,
+  // one byte-sized random load per edge); once the frontier holds more
+  // than a quarter of the unvisited remainder -- the dense middle
+  // levels of a small-diameter graph, where almost every top-down
+  // check hits an already-visited node -- the level flips bottom-up:
+  // sweep the still-unvisited ids and stop at the first neighbor on
+  // the frontier. Frontier membership is a bitmap (n/8 bytes,
+  // L1-resident; each level clears exactly the bits it set), and the
+  // candidates come from a compacting pool of unvisited alive ids, so
+  // consecutive bottom-up levels only touch the shrinking remainder.
+  // Either way each level appends its nodes to the queue, so distances
+  // are exact and visit order stays nondecreasing in depth.
+  std::size_t tail = 0;
+  stamp[src] = epoch;
   dist[src] = 0;
-  frontier.push_back(src);
-  while (!frontier.empty()) {
-    const NodeId v = frontier.front();
-    frontier.pop_front();
-    const std::uint32_t next = dist[v] + 1;
-    for (NodeId u : g.neighbors(v)) {
-      if (dist[u] == kUnreachable) {
-        if (u == dst) return next;
-        dist[u] = next;
-        frontier.push_back(u);
+  queue[tail++] = src;
+  std::size_t level_start = 0;
+  std::uint32_t depth = 0;
+  std::size_t unvisited = view.num_alive() - 1;
+  auto* pool = scratch.unvisited_.data();
+  std::size_t pool_size = 0;
+  bool pool_ready = false;
+  while (level_start < tail) {
+    const std::size_t level_end = tail;
+    const std::uint32_t child_depth = depth + 1;
+    if (level_end - level_start > unvisited / 4) {
+      auto* bits = scratch.frontier_bits_.data();
+      for (std::size_t i = level_start; i < level_end; ++i) {
+        const NodeId v = queue[i];
+        bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+      }
+      const auto probe = [&](NodeId u) {
+        for (NodeId w : view.neighbors(u)) {
+          if ((bits[w >> 6] >> (w & 63)) & 1) {
+            stamp[u] = epoch;
+            dist[u] = child_depth;
+            queue[tail++] = u;
+            return true;
+          }
+        }
+        return false;
+      };
+      std::size_t kept = 0;
+      if (!pool_ready) {
+        // First bottom-up level: build the pool and probe in one sweep.
+        if (view.num_alive() == view.num_nodes()) {
+          // Fully-alive graph: scan the stamps eight at a time (SWAR
+          // zero-byte trick on stamp ^ epoch) so the majority-visited
+          // entries cost one word load instead of one mispredicted
+          // branch each; only genuinely unvisited ids reach probe().
+          // Visit order matches the per-id loop below exactly.
+          const std::uint64_t bcast = 0x0101010101010101ull * epoch;
+          const std::size_t nwords = view.num_nodes() / 8;
+          for (std::size_t wi = 0; wi < nwords; ++wi) {
+            std::uint64_t x;
+            std::memcpy(&x, stamp + wi * 8, 8);
+            x ^= bcast;  // zero byte <=> visited this epoch
+            std::uint64_t m = (((x | 0x8080808080808080ull) -
+                                0x0101010101010101ull) |
+                               x) &
+                              0x8080808080808080ull;
+            while (m) {
+              const unsigned byte =
+                  static_cast<unsigned>(__builtin_ctzll(m)) >> 3;
+              m &= m - 1;
+              const NodeId u = static_cast<NodeId>(wi * 8 + byte);
+              if (!probe(u)) pool[kept++] = u;
+            }
+          }
+          for (NodeId u = static_cast<NodeId>(nwords * 8);
+               u < view.num_nodes(); ++u) {
+            if (stamp[u] != epoch && !probe(u)) pool[kept++] = u;
+          }
+        } else {
+          for (NodeId u : view.alive_nodes()) {
+            if (stamp[u] == epoch) continue;
+            if (!probe(u)) pool[kept++] = u;
+          }
+        }
+        pool_ready = true;
+      } else {
+        for (std::size_t i = 0; i < pool_size; ++i) {
+          const NodeId u = pool[i];
+          if (stamp[u] == epoch) continue;  // settled top-down since
+          if (!probe(u)) pool[kept++] = u;
+        }
+      }
+      pool_size = kept;
+      for (std::size_t i = level_start; i < level_end; ++i) {
+        const NodeId v = queue[i];
+        bits[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+      }
+    } else {
+      // Branchless discovery: top-down only runs on levels where a
+      // large fraction of edge checks discover (the dense wasteful
+      // levels flip bottom-up), which makes the "seen before?" branch
+      // maximally unpredictable. Unconditional idempotent stores + a
+      // cmov'd dist and a `tail += fresh` append trade a few extra
+      // uops for zero mispredicts; discovery order is unchanged.
+      for (std::size_t i = level_start; i < level_end; ++i) {
+        for (NodeId u : view.neighbors(queue[i])) {
+          const bool fresh = stamp[u] != epoch;
+          stamp[u] = epoch;
+          dist[u] = fresh ? child_depth : dist[u];
+          queue[tail] = u;
+          tail += fresh;
+        }
       }
     }
+    unvisited -= tail - level_end;
+    if (unvisited == 0) break;  // nothing left to discover
+    level_start = level_end;
+    ++depth;
   }
-  return kUnreachable;
+  scratch.visited_count_ = tail;
+  return tail;
 }
 
-bool is_connected(const Graph& g) {
-  const auto alive = g.alive_nodes();
-  if (alive.size() <= 1) return true;
-  const auto dist = bfs_distances(g, alive.front());
-  return std::all_of(alive.begin(), alive.end(), [&](NodeId v) {
-    return dist[v] != kUnreachable;
-  });
+bool is_connected(const FlatView& view, TraversalScratch& scratch) {
+  const std::size_t alive = view.num_alive();
+  if (alive <= 1) return true;
+  return bfs_distances(view, view.alive_nodes().front(), scratch) == alive;
 }
 
 std::size_t Components::largest() const {
@@ -63,56 +167,135 @@ std::size_t Components::largest() const {
   return *std::max_element(sizes.begin(), sizes.end());
 }
 
-Components connected_components(const Graph& g) {
-  Components out;
-  out.label.assign(g.num_nodes(), kInvalidComponent);
-  std::deque<NodeId> frontier;
-  for (NodeId root = 0; root < g.num_nodes(); ++root) {
-    if (!g.alive(root) || out.label[root] != kInvalidComponent) continue;
+void connected_components(const FlatView& view, TraversalScratch& scratch,
+                          Components& out) {
+  const std::size_t n = view.num_nodes();
+  out.label.assign(n, kInvalidComponent);
+  out.sizes.clear();
+  scratch.begin(n);  // only the frontier buffer is used here
+  auto* queue = scratch.frontier_.data();
+  for (NodeId root : view.alive_nodes()) {
+    if (out.label[root] != kInvalidComponent) continue;
     const auto comp = static_cast<std::uint32_t>(out.sizes.size());
-    out.sizes.push_back(0);
+    std::size_t head = 0;
+    std::size_t tail = 0;
     out.label[root] = comp;
-    frontier.push_back(root);
-    while (!frontier.empty()) {
-      const NodeId v = frontier.front();
-      frontier.pop_front();
-      ++out.sizes[comp];
-      for (NodeId u : g.neighbors(v)) {
+    queue[tail++] = root;
+    while (head < tail) {
+      const NodeId v = queue[head++];
+      for (NodeId u : view.neighbors(v)) {
         if (out.label[u] == kInvalidComponent) {
           out.label[u] = comp;
-          frontier.push_back(u);
+          queue[tail++] = u;
         }
       }
     }
+    out.sizes.push_back(static_cast<std::uint32_t>(tail));
   }
+}
+
+std::uint32_t eccentricity(const FlatView& view, NodeId src,
+                           TraversalScratch& scratch) {
+  bfs_distances(view, src, scratch);
+  // BFS discovery order is nondecreasing in distance: the last node
+  // visited carries the eccentricity.
+  return scratch.distance(scratch.visited().back());
+}
+
+// ---- legacy wrappers -------------------------------------------------
+
+namespace {
+/// One warm scratch per thread serves every legacy-signature call, so
+/// the historical API rides the zero-alloc engine too.
+TraversalScratch& local_scratch() {
+  thread_local TraversalScratch scratch;
+  return scratch;
+}
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  DASH_CHECK(g.alive(src));
+  TraversalScratch& scratch = local_scratch();
+  bfs_distances(g.flat_view(), src, scratch);
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  for (NodeId v : scratch.visited()) dist[v] = scratch.distance(v);
+  return dist;
+}
+
+std::uint32_t bfs_distance(const Graph& g, NodeId src, NodeId dst) {
+  DASH_CHECK(g.alive(src) && g.alive(dst));
+  if (src == dst) return 0;
+  // Point query: deliberately a plain top-down BFS (not the
+  // direction-optimizing engine loop) because it returns the moment
+  // dst is settled -- usually long before the dense middle levels
+  // where bottom-up would start paying off.
+  const FlatView& view = g.flat_view();
+  TraversalScratch& scratch = local_scratch();
+  scratch.begin(view.num_nodes());
+  auto* dist = scratch.dist_.data();
+  auto* stamp = scratch.stamp_.data();
+  auto* queue = scratch.frontier_.data();
+  const std::uint8_t epoch = scratch.epoch_;
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  stamp[src] = epoch;
+  dist[src] = 0;
+  queue[tail++] = src;
+  while (head < tail) {
+    const NodeId v = queue[head++];
+    const std::uint32_t next = dist[v] + 1;
+    for (NodeId u : view.neighbors(v)) {
+      if (stamp[u] != epoch) {
+        if (u == dst) {
+          scratch.visited_count_ = 0;  // partial run: expose no state
+          return next;
+        }
+        stamp[u] = epoch;
+        dist[u] = next;
+        queue[tail++] = u;
+      }
+    }
+  }
+  scratch.visited_count_ = 0;
+  return kUnreachable;
+}
+
+bool is_connected(const Graph& g) {
+  return is_connected(g.flat_view(), local_scratch());
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  connected_components(g.flat_view(), local_scratch(), out);
   return out;
 }
 
 std::uint32_t eccentricity(const Graph& g, NodeId src) {
-  const auto dist = bfs_distances(g, src);
-  std::uint32_t ecc = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (g.alive(v) && dist[v] != kUnreachable) ecc = std::max(ecc, dist[v]);
-  }
-  return ecc;
+  DASH_CHECK(g.alive(src));
+  return eccentricity(g.flat_view(), src, local_scratch());
 }
 
 std::uint32_t diameter(const Graph& g) {
-  const auto alive = g.alive_nodes();
-  if (alive.size() <= 1) return 0;
-  if (!is_connected(g)) return kUnreachable;
+  const FlatView& view = g.flat_view();
+  if (view.num_alive() <= 1) return 0;
+  TraversalScratch& scratch = local_scratch();
+  if (!is_connected(view, scratch)) return kUnreachable;
   std::uint32_t diam = 0;
-  for (NodeId v : alive) diam = std::max(diam, eccentricity(g, v));
+  for (NodeId v : view.alive_nodes()) {
+    diam = std::max(diam, eccentricity(view, v, scratch));
+  }
   return diam;
 }
 
 std::vector<std::uint32_t> all_pairs_distances(const Graph& g) {
   const std::size_t n = g.num_nodes();
+  const FlatView& view = g.flat_view();
+  TraversalScratch& scratch = local_scratch();
   std::vector<std::uint32_t> mat(n * n, kUnreachable);
-  for (NodeId v = 0; v < n; ++v) {
-    if (!g.alive(v)) continue;
-    const auto dist = bfs_distances(g, v);
-    std::copy(dist.begin(), dist.end(), mat.begin() + v * n);
+  for (NodeId v : view.alive_nodes()) {
+    bfs_distances(view, v, scratch);
+    auto* row = mat.data() + static_cast<std::size_t>(v) * n;
+    for (NodeId u : scratch.visited()) row[u] = scratch.distance(u);
   }
   return mat;
 }

@@ -50,7 +50,7 @@ NodeId UnionFind::add() {
   return v;
 }
 
-void UnionFind::reroot(const std::vector<NodeId>& members) {
+void UnionFind::reroot(std::span<const NodeId> members) {
   DASH_CHECK_MSG(!members.empty(), "reroot needs at least one member");
   const NodeId root = members.front();
   DASH_CHECK(root < parent_.size());

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -61,7 +62,7 @@ class UnionFind {
   /// dead ids again). After this call num_sets()/set_size() are only
   /// meaningful for sets the surgery never touched -- callers keep
   /// their own component books.
-  void reroot(const std::vector<NodeId>& members);
+  void reroot(std::span<const NodeId> members);
 
  private:
   std::vector<NodeId> parent_;

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -25,6 +26,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks currently waiting in the queue (not yet claimed by a
+  /// worker). Test/diagnostic hook.
+  std::size_t queue_depth() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
   /// Enqueue a task; the returned future rethrows any task exception.
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& fn) {
@@ -33,7 +41,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back({[task] { (*task)(); }, 0});
     }
     cv_.notify_one();
     return fut;
@@ -41,16 +49,31 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
   /// Exceptions from tasks are rethrown (the first one encountered).
+  /// The calling thread participates in the work, so the call is safe
+  /// (and makes progress) even from inside a pool task -- nested
+  /// parallel_for cannot deadlock on occupied workers.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Queued work unit. `tag` groups the helper runners of one
+  /// parallel_for call (0 = plain submit) so the call can erase its
+  /// still-pending helpers once every index is done -- a nested
+  /// parallel_for whose caller-runner drained the whole range would
+  /// otherwise leave its helpers parked in the queue (as no-op
+  /// closures pinning the copied fn) until the outer tasks finish.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t tag;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::deque<Task> queue_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::uint64_t next_tag_ = 0;  ///< guarded by mu_
   bool stop_ = false;
 };
 

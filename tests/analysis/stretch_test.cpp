@@ -6,6 +6,7 @@
 
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dash::analysis {
 namespace {
@@ -67,13 +68,72 @@ TEST(Stretch, AverageBelowMax) {
   g.add_edge(0, 2);  // partial repair elsewhere still shifts distances
   g.delete_node(5);
   g.add_edge(4, 6);
-  const double avg = tracker.average_stretch(g);
-  const double mx = tracker.max_stretch(g);
-  EXPECT_LE(avg, mx);
+  // One pass serves both figures; no second APSP.
+  const StretchStats stats = tracker.stretch_stats(g);
+  EXPECT_LE(stats.average, stats.max);
   // Chord edges can shrink distances below the original, so the average
   // may dip under 1; it must stay positive and finite.
-  EXPECT_GT(avg, 0.0);
-  EXPECT_FALSE(std::isinf(avg));
+  EXPECT_GT(stats.average, 0.0);
+  EXPECT_FALSE(std::isinf(stats.average));
+}
+
+TEST(Stretch, StatsMatchSingleMetricWrappers) {
+  dash::util::Rng rng(17);
+  Graph g = graph::barabasi_albert(48, 2, rng);
+  const StretchTracker tracker(g);
+  const auto survivors = g.delete_node(3);
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    g.add_edge(survivors[i - 1], survivors[i]);
+  }
+  const StretchStats stats = tracker.stretch_stats(g);
+  EXPECT_EQ(stats.max, tracker.max_stretch(g));
+  EXPECT_EQ(stats.average, tracker.average_stretch(g));
+  EXPECT_GE(stats.max, 1.0);
+}
+
+TEST(Stretch, StatsParallelBitIdenticalToSequential) {
+  dash::util::Rng rng(23);
+  Graph g = graph::barabasi_albert(200, 2, rng);
+  const StretchTracker tracker(g);
+  for (int i = 0; i < 20; ++i) {
+    const auto alive = g.alive_nodes();
+    const auto survivors = g.delete_node(
+        alive[static_cast<std::size_t>(rng.below(alive.size()))]);
+    for (std::size_t j = 1; j < survivors.size(); ++j) {
+      g.add_edge(survivors[j - 1], survivors[j]);
+    }
+  }
+  const StretchStats seq = tracker.stretch_stats(g);
+  for (std::size_t workers : {2, 3, 8}) {
+    dash::util::ThreadPool pool(workers);
+    const StretchStats par = tracker.stretch_stats(g, pool);
+    EXPECT_EQ(seq.max, par.max) << workers << " workers";
+    EXPECT_EQ(seq.average, par.average) << workers << " workers";
+  }
+}
+
+TEST(Stretch, StatsParallelDisconnectedIsInfinite) {
+  Graph g = graph::path_graph(130);  // two waves' worth of sources
+  const StretchTracker tracker(g);
+  g.delete_node(64);
+  dash::util::ThreadPool pool(2);
+  const StretchStats par = tracker.stretch_stats(g, pool);
+  EXPECT_TRUE(std::isinf(par.max));
+  EXPECT_TRUE(std::isinf(par.average));
+}
+
+TEST(Stretch, FewAliveNodesStatsZero) {
+  Graph g = graph::path_graph(3);
+  const StretchTracker tracker(g);
+  g.delete_node(0);
+  g.delete_node(1);
+  dash::util::ThreadPool pool(2);
+  const StretchStats seq = tracker.stretch_stats(g);
+  const StretchStats par = tracker.stretch_stats(g, pool);
+  EXPECT_DOUBLE_EQ(seq.max, 0.0);
+  EXPECT_DOUBLE_EQ(seq.average, 0.0);
+  EXPECT_DOUBLE_EQ(par.max, 0.0);
+  EXPECT_DOUBLE_EQ(par.average, 0.0);
 }
 
 TEST(Stretch, RequiresConnectedBaseline) {

@@ -89,8 +89,10 @@ TEST(UnionFind, RerootCarvesOutFreshSet) {
   for (NodeId v = 1; v < 6; ++v) uf.unite(0, v);
   // Split {0..5} into {0,1,2} and {3,4,5}, as the rebuild path does
   // after an uncertified deletion.
-  uf.reroot({0, 1, 2});
-  uf.reroot({3, 4, 5});
+  const std::vector<NodeId> left{0, 1, 2};
+  const std::vector<NodeId> right{3, 4, 5};
+  uf.reroot(left);
+  uf.reroot(right);
   EXPECT_TRUE(uf.connected(0, 2));
   EXPECT_TRUE(uf.connected(3, 5));
   EXPECT_FALSE(uf.connected(2, 3));

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace dash::util {
 namespace {
@@ -68,6 +71,35 @@ TEST(ThreadPool, SingleWorkerStillWorks) {
 TEST(ThreadPool, DefaultSizeAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForLeavesNoQueuedHelpers) {
+  // Occupy every worker, then run parallel_for from this thread: the
+  // caller-runner drains the whole range while the helpers sit in the
+  // queue. On return those helpers must have been erased -- a
+  // stretch-sampling suite issues thousands of nested calls, and
+  // leftover no-op closures would pile up for the outer run's lifetime.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> blocked{0};
+  std::vector<std::future<void>> gates;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    gates.push_back(pool.submit([&] {
+      blocked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  while (blocked.load() < static_cast<int>(pool.size())) {
+    std::this_thread::yield();
+  }
+  std::atomic<int> ran{0};
+  for (int call = 0; call < 50; ++call) {
+    pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 50 * 8);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  release.store(true);
+  for (auto& g : gates) g.get();
 }
 
 }  // namespace
