@@ -74,6 +74,21 @@ Network::Network(Graph g, const std::string& healer_spec,
   init_tracker();
 }
 
+Network::Network(Graph g, std::unique_ptr<core::HealingStrategy> healer,
+                 HealingState state)
+    : owned_g_(std::move(g)),
+      owned_state_(std::move(state)),
+      owned_healer_(std::move(healer)),
+      g_(&*owned_g_),
+      state_(&*owned_state_),
+      healer_(owned_healer_.get()) {
+  DASH_CHECK_MSG(healer_ != nullptr, "Network needs a healing strategy");
+  DASH_CHECK_MSG(state_->num_nodes() == g_->num_nodes(),
+                 "checkpointed healing state does not match the graph");
+  initial_size_ = g_->num_alive();
+  init_tracker();
+}
+
 Network::Network(Graph& g, HealingState& state,
                  core::HealingStrategy& healer)
     : g_(&g), state_(&state), healer_(&healer) {
@@ -126,6 +141,10 @@ Observer* Network::find_observer(const std::string& name) const {
 
 void Network::notify_round_begin(std::size_t round) {
   for (Observer* obs : observers_) obs->on_round_begin(*this, round);
+}
+
+void Network::notify_phase(const std::string& spec) {
+  for (Observer* obs : observers_) obs->on_phase(*this, spec);
 }
 
 void Network::finish_round(RoundEvent& ev) {
@@ -226,6 +245,7 @@ std::vector<HealAction> Network::remove_batch(
   ev.round = engine_.deletions;
   ev.deletions_in_round = batch.size();
   ev.victim = batch.front();
+  ev.batch = &batch;
   ev.edges_added = round_edges;
   finish_round(ev);
   return actions;

@@ -81,6 +81,14 @@ class Network {
   Network(graph::Graph g, const std::string& healer_spec,
           std::uint64_t seed);
 
+  /// Owning constructor resuming from a checkpointed healing state
+  /// (core::HealingState::save / graph::write_edge_list): no RNG is
+  /// consumed -- the state carries its id assignment -- so re-executing
+  /// a recorded event sequence reproduces the original run exactly.
+  /// The replay subsystem (replay/play.h) is built on this.
+  Network(graph::Graph g, std::unique_ptr<core::HealingStrategy> healer,
+          core::HealingState state);
+
   /// Borrowed constructor: operate on externally owned graph/state/
   /// healer, for callers that need to inspect or keep mutating those
   /// objects after the run. New code should prefer the owning
@@ -145,6 +153,12 @@ class Network {
   /// Snapshot metrics and give every observer its on_finish() chance to
   /// contribute (violation, stretch, ...). Idempotent; run() calls it.
   Metrics finish();
+
+  /// Broadcast a scenario phase boundary (Observer::on_phase) to the
+  /// pipeline. play() calls this before each phase executes; trace
+  /// replay (replay/play.h) re-broadcasts the recorded markers so a
+  /// replayed run drives its observers identically to the original.
+  void notify_phase(const std::string& spec);
 
   // ---- introspection ------------------------------------------------
 

@@ -37,6 +37,11 @@ struct RoundEvent {
   graph::NodeId victim = graph::kInvalidNode;
   const core::DeletionContext* ctx = nullptr;  ///< null for batch rounds
   const core::HealAction* action = nullptr;    ///< null for batch rounds
+  /// The full victim set of a batch round (null for single-deletion
+  /// rounds); points at the engine caller's vector, valid for the
+  /// round's pipeline only -- copy to retain (replay::RecorderSink
+  /// needs the whole batch, not just the representative victim).
+  const std::vector<graph::NodeId>* batch = nullptr;
   /// Healing edges inserted into G this round (summed over the batch's
   /// clusters for batch rounds).
   std::size_t edges_added = 0;
@@ -103,6 +108,13 @@ class Observer {
 
   /// Called after an organic arrival was wired in.
   virtual void on_join(const Network& /*net*/, const JoinEvent& /*ev*/) {}
+
+  /// Called by Network::play when a scenario phase is about to execute,
+  /// with the phase's canonical spec. Purely informational (phases are
+  /// an orchestration construct, not a protocol event); the replay
+  /// recorder uses it to mark phase boundaries in its traces.
+  virtual void on_phase(const Network& /*net*/, const std::string& /*spec*/) {
+  }
 
   /// Called by Network::finish()/run(); contribute observer-owned
   /// metrics (violation, stretch, ...) to the outgoing snapshot.

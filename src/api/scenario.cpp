@@ -801,6 +801,7 @@ Metrics Network::play(const Scenario& scenario, dash::util::Rng& rng,
   PlayContext ctx{*this, rng, 1, &opts};
   for (const auto& phase : scenario.phases()) {
     if (ctx.stopped()) break;
+    notify_phase(phase->spec());
     phase->execute(ctx);
   }
   return finish();

@@ -9,9 +9,7 @@
 
 namespace dash::api {
 
-namespace {
-
-const std::vector<std::string>& row_header() {
+const std::vector<std::string>& round_row_header() {
   static const std::vector<std::string> header{
       "instance",      "round",       "deletions_in_round",
       "event_node",    "kind",        "alive",
@@ -19,6 +17,24 @@ const std::vector<std::string>& row_header() {
       "largest_component", "stretch", "stretch_sampled"};
   return header;
 }
+
+std::vector<std::string> round_row_fields(const RoundRow& row) {
+  using dash::util::CsvWriter;
+  return {CsvWriter::to_field(row.instance),
+          CsvWriter::to_field(row.round),
+          CsvWriter::to_field(row.deletions_in_round),
+          CsvWriter::to_field(static_cast<std::size_t>(row.event_node)),
+          row.is_join ? "join" : "delete",
+          CsvWriter::to_field(row.alive),
+          CsvWriter::to_field(row.edges),
+          CsvWriter::to_field(row.edges_added),
+          CsvWriter::to_field(static_cast<std::size_t>(row.max_delta)),
+          CsvWriter::to_field(row.largest_component),
+          CsvWriter::to_field(row.stretch),
+          CsvWriter::to_field(row.stretch_sampled ? 1 : 0)};
+}
+
+namespace {
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -102,15 +118,10 @@ summary_fields() {
 // ---- CsvStreamSink ----------------------------------------------------
 
 CsvStreamSink::CsvStreamSink(std::ostream& out)
-    : out_(out), writer_(out, row_header()) {}
+    : out_(out), writer_(out, round_row_header()) {}
 
 void CsvStreamSink::on_row(const RoundRow& row) {
-  writer_.write(row.instance, row.round, row.deletions_in_round,
-                static_cast<std::size_t>(row.event_node),
-                row.is_join ? "join" : "delete", row.alive, row.edges,
-                row.edges_added, static_cast<std::size_t>(row.max_delta),
-                row.largest_component, row.stretch,
-                row.stretch_sampled ? 1 : 0);
+  writer_.write_row(round_row_fields(row));
 }
 
 void CsvStreamSink::flush() { out_.flush(); }

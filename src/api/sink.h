@@ -62,6 +62,15 @@ struct RoundRow {
   bool stretch_sampled = false;
 };
 
+/// The CsvStreamSink column set, exposed so other row emitters (the
+/// exp layer's per-shard rows files) stay bit-for-bit in sync with the
+/// in-process CSV stream.
+const std::vector<std::string>& round_row_header();
+
+/// One row's fields, formatted exactly as CsvStreamSink writes them
+/// (same field order as round_row_header(), same float formatting).
+std::vector<std::string> round_row_fields(const RoundRow& row);
+
 class MetricSink {
  public:
   virtual ~MetricSink() = default;

@@ -73,6 +73,10 @@ class HealingState {
     return msgs_sent_[v] + msgs_recv_[v];
   }
 
+  /// Size of the node-id space this state covers (dead ids included);
+  /// equals Graph::num_nodes() of the matching graph.
+  std::size_t num_nodes() const { return initial_degree_.size(); }
+
   /// Max delta over nodes still alive in `g` (at least 0).
   std::int32_t max_delta_alive(const Graph& g) const;
   /// Max over time and over nodes of delta (the paper's headline

@@ -1,0 +1,53 @@
+// chaos.h -- environment-driven crash-fault injection for orchestrated
+// sweeps.
+//
+// The resilience story of the exp layer (per-cell shard records as
+// resume manifests, truncated-final-line tolerance, byte-stable
+// merges) is only trustworthy if workers actually die mid-sweep in
+// tests. A chaos plan, armed through the DASH_CHAOS environment
+// variable (which fork/exec'd orchestrate workers inherit), makes a
+// worker abort deterministically at a chosen cell:
+//
+//   DASH_CHAOS=kill:<cell>   SIGKILL before the cell's record is
+//                            written (rows for the cell may already
+//                            be on disk -- resume recomputes them);
+//   DASH_CHAOS=torn:<cell>   flush half the record line, no newline,
+//                            then SIGKILL -- the torn-write shape the
+//                            shard loader's recovery path must eat.
+//
+// The strike happens at most once per process (the targeted cell), so
+// a --resume rerun with the variable cleared finishes the sweep.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace dash::exp {
+
+/// Environment variable consulted by chaos_from_env().
+inline constexpr char kChaosEnv[] = "DASH_CHAOS";
+
+struct ChaosPlan {
+  enum class Kind { kNone, kKill, kTorn };
+  Kind kind = Kind::kNone;
+  std::size_t cell = 0;  ///< the cell index whose record write aborts
+  bool armed() const { return kind != Kind::kNone; }
+};
+
+/// Parse "kill:<cell>" / "torn:<cell>" (empty -> unarmed plan).
+/// Throws std::invalid_argument on anything else.
+ChaosPlan parse_chaos(const std::string& spec);
+
+/// The plan from $DASH_CHAOS; unarmed when unset or empty.
+ChaosPlan chaos_from_env();
+
+/// Abort the process if `plan` targets `cell`: kKill dies before any
+/// byte of `record_line` reaches `out`; kTorn writes the first half of
+/// `record_line` (no newline), flushes, then dies. Returns normally
+/// when the plan does not apply. `record_line` is the line *without*
+/// its trailing newline.
+void chaos_strike(const ChaosPlan& plan, std::size_t cell,
+                  std::ostream& out, const std::string& record_line);
+
+}  // namespace dash::exp

@@ -44,14 +44,35 @@ pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
 
 }  // namespace
 
+std::string WorkerStatus::describe() const {
+  std::string out = "shard " + std::to_string(shard) + "/" +
+                    std::to_string(count) + ": ";
+  if (exited) {
+    out += exit_code == 0 ? "ok" : "exit " + std::to_string(exit_code);
+  } else if (signaled) {
+    const char* name = ::strsignal(signal_no);
+    out += "killed by signal " + std::to_string(signal_no) +
+           (name != nullptr ? " (" + std::string(name) + ")" : "");
+  } else {
+    out += "wait failed";
+  }
+  return out;
+}
+
 std::string shard_path(const std::string& dir, std::size_t index,
                        std::size_t count) {
   return dir + "/shard_" + std::to_string(index) + "_of_" +
          std::to_string(count) + ".jsonl";
 }
 
-std::string orchestrate(const ExperimentSpec& spec,
-                        const OrchestrateOptions& opt) {
+std::string rows_path(const std::string& dir, std::size_t index,
+                      std::size_t count) {
+  return dir + "/rows_" + std::to_string(index) + "_of_" +
+         std::to_string(count) + ".csv";
+}
+
+OrchestrateResult orchestrate(const ExperimentSpec& spec,
+                              const OrchestrateOptions& opt) {
   if (opt.workers == 0) {
     throw std::invalid_argument("orchestrate needs >= 1 worker");
   }
@@ -83,32 +104,51 @@ std::string orchestrate(const ExperimentSpec& spec,
     args.push_back(shard_path(opt.shard_dir, i, opt.workers));
     args.push_back("--threads");
     args.push_back(std::to_string(worker_threads));
+    if (opt.rows) {
+      args.push_back("--rows");
+      args.push_back(rows_path(opt.shard_dir, i, opt.workers));
+    }
     if (opt.resume) args.push_back("--resume");
     pids.push_back(spawn(opt.exe, args));
   }
 
   // Wait for every worker before judging any of them, so a failure
   // never leaves orphans behind.
-  std::vector<int> statuses(pids.size(), 0);
+  OrchestrateResult result;
+  result.workers.resize(pids.size());
+  bool all_ok = true;
   for (std::size_t i = 0; i < pids.size(); ++i) {
-    if (::waitpid(pids[i], &statuses[i], 0) < 0) {
-      statuses[i] = -1;
+    WorkerStatus& ws = result.workers[i];
+    ws.shard = i;
+    ws.count = opt.workers;
+    int st = 0;
+    if (::waitpid(pids[i], &st, 0) < 0) {
+      all_ok = false;
+      continue;  // neither exited nor signaled: describe() says so
     }
+    if (WIFEXITED(st)) {
+      ws.exited = true;
+      ws.exit_code = WEXITSTATUS(st);
+    } else if (WIFSIGNALED(st)) {
+      ws.signaled = true;
+      ws.signal_no = WTERMSIG(st);
+    }
+    all_ok = all_ok && ws.ok();
   }
-  for (std::size_t i = 0; i < statuses.size(); ++i) {
-    const int st = statuses[i];
-    if (st < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0) {
-      throw std::runtime_error(
-          "dash_lab worker for shard " + std::to_string(i) + "/" +
-          std::to_string(opt.workers) + " failed" +
-          (st >= 0 && WIFEXITED(st)
-               ? " (exit " + std::to_string(WEXITSTATUS(st)) + ")"
-               : st >= 0 && WIFSIGNALED(st)
-                     ? " (signal " + std::to_string(WTERMSIG(st)) + ")"
-                     : "") +
-          "; completed cells are kept in " + opt.shard_dir +
-          " -- rerun with --resume to finish");
+  if (!all_ok) {
+    std::size_t failed = 0;
+    std::string first;
+    for (const WorkerStatus& ws : result.workers) {
+      if (ws.ok()) continue;
+      ++failed;
+      if (first.empty()) first = ws.describe();
     }
+    throw OrchestrateError(
+        std::to_string(failed) + " of " + std::to_string(opt.workers) +
+            " dash_lab workers failed (first: " + first +
+            "); completed cells are kept in " + opt.shard_dir +
+            " -- rerun with --resume to finish",
+        std::move(result.workers));
   }
 
   std::vector<ShardRecord> records;
@@ -117,7 +157,17 @@ std::string orchestrate(const ExperimentSpec& spec,
                                                   opt.workers));
     records.insert(records.end(), shard.begin(), shard.end());
   }
-  return merged_document(spec, records);
+  result.document = merged_document(spec, records);
+  if (opt.rows) {
+    std::vector<RowsRecord> rows;
+    for (std::size_t i = 0; i < opt.workers; ++i) {
+      const auto shard_rows =
+          load_rows_file(rows_path(opt.shard_dir, i, opt.workers));
+      rows.insert(rows.end(), shard_rows.begin(), shard_rows.end());
+    }
+    result.rows = merged_rows(std::move(rows));
+  }
+  return result;
 }
 
 std::string current_executable(const char* argv0) {

@@ -5,13 +5,16 @@
 // streaming its per-cell records to its own shard file, waits for all
 // of them, and merges the shard files into the single BENCH_*.json
 // document a sequential run would have produced -- byte-identical, by
-// the runner's fragment construction. Workers that die (non-zero exit,
-// signal) fail the orchestration with their shard named; already
+// the runner's fragment construction. Every worker's fate (exit code
+// or killing signal) is reported: success returns the statuses
+// alongside the document, failure throws an OrchestrateError carrying
+// all of them so callers can say *which* shard died and how. Already
 // completed cells stay in the shard files, so re-running with resume
 // recomputes only what is missing.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,17 +42,60 @@ struct OrchestrateOptions {
   /// hardware concurrency evenly between the workers instead of
   /// oversubscribing every core N times.
   std::size_t threads = 0;
+  /// Have every worker stream its cells' per-round rows to a per-shard
+  /// rows file (rows_path) and merge them into OrchestrateResult::rows
+  /// -- byte-identical to an in-process --rows run.
+  bool rows = false;
+};
+
+/// How one worker process ended.
+struct WorkerStatus {
+  std::size_t shard = 0;  ///< shard index (of `count`)
+  std::size_t count = 0;
+  bool exited = false;    ///< normal termination (any exit code)
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal
+  int signal_no = 0;
+  bool ok() const { return exited && exit_code == 0; }
+  /// "shard 1/4: ok" / "shard 1/4: exit 2" /
+  /// "shard 1/4: killed by signal 9 (Killed)".
+  std::string describe() const;
+};
+
+/// A worker failed (or a wait on it did). Carries every worker's
+/// status, not just the first casualty's.
+class OrchestrateError : public std::runtime_error {
+ public:
+  OrchestrateError(const std::string& what,
+                   std::vector<WorkerStatus> workers)
+      : std::runtime_error(what), workers_(std::move(workers)) {}
+  const std::vector<WorkerStatus>& workers() const { return workers_; }
+
+ private:
+  std::vector<WorkerStatus> workers_;
+};
+
+struct OrchestrateResult {
+  std::string document;  ///< the merged BENCH_*.json document
+  /// Canonical merged rows document (empty unless options.rows).
+  std::string rows;
+  std::vector<WorkerStatus> workers;
 };
 
 /// Path of shard `index` of `count` inside `dir`.
 std::string shard_path(const std::string& dir, std::size_t index,
                        std::size_t count);
 
+/// Path of the rows file of shard `index` of `count` inside `dir`.
+std::string rows_path(const std::string& dir, std::size_t index,
+                      std::size_t count);
+
 /// Run the spec across worker processes and return the merged
-/// document. Throws std::runtime_error when a worker fails and
-/// std::invalid_argument for bad options or unmergeable shards.
-std::string orchestrate(const ExperimentSpec& spec,
-                        const OrchestrateOptions& opt);
+/// document plus per-worker statuses. Throws OrchestrateError when a
+/// worker fails and std::invalid_argument for bad options or
+/// unmergeable shards.
+OrchestrateResult orchestrate(const ExperimentSpec& spec,
+                              const OrchestrateOptions& opt);
 
 /// Absolute path of the running binary (/proc/self/exe when
 /// available, argv0 otherwise).

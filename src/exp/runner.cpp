@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -106,11 +107,20 @@ std::vector<CellResult> run(const ExperimentSpec& spec,
       }
       net.set_connectivity_mode(mode);
     };
+    // Row capture only changes what is observed, never the run itself
+    // (SinkObserver reads the engine's incremental component tracker),
+    // so metrics stay byte-identical with or without on_rows.
+    api::MemorySink row_sink;
+    if (opt.on_rows) {
+      cfg.record_rows = true;
+      cfg.sinks.push_back(&row_sink);
+    }
 
     CellResult result;
     result.cell = cell;
     result.runs = pool ? api::run_suite(cfg, *pool) : api::run_suite(cfg);
     result.group_json = render_group(spec, cell, result.runs);
+    if (opt.on_rows) opt.on_rows(cell, row_sink.rows());
     if (opt.on_cell) opt.on_cell(result);
     results.push_back(std::move(result));
   }
@@ -239,6 +249,115 @@ std::string merged_document(const ExperimentSpec& spec,
     out += by_index[i]->group_json;
   }
   out += "]}\n";
+  return out;
+}
+
+// ---- per-shard rows I/O ----------------------------------------------------
+
+std::string rows_header() {
+  std::string out = "cell,seq";
+  for (const std::string& col : api::round_row_header()) {
+    out += ',';
+    out += col;
+  }
+  return out;
+}
+
+std::string rows_line(std::size_t cell, const api::RoundRow& row) {
+  std::string out = std::to_string(cell);
+  out += ',';
+  out += std::to_string(row.seq);
+  for (const std::string& field : api::round_row_fields(row)) {
+    out += ',';
+    out += field;
+  }
+  return out;
+}
+
+bool parse_rows_line(const std::string& line, RowsRecord* out) {
+  std::size_t pos = 0;
+  RowsRecord record;
+  if (!scan_digits(line, &pos, &record.cell)) return false;
+  if (!expect(line, &pos, ",")) return false;
+  if (!scan_digits(line, &pos, &record.seq)) return false;
+  if (!expect(line, &pos, ",")) return false;
+  if (!scan_digits(line, &pos, &record.instance)) return false;
+  if (!expect(line, &pos, ",")) return false;
+  // The remaining fields are free-form CSV; a line torn inside them is
+  // caught by the column count (round + the other 10 columns follow).
+  std::size_t commas = 0;
+  for (std::size_t i = pos; i < line.size(); ++i) {
+    if (line[i] == ',') ++commas;
+  }
+  if (commas != api::round_row_header().size() - 2 || line.back() == ',') {
+    return false;
+  }
+  record.line = line;
+  *out = record;
+  return true;
+}
+
+std::vector<RowsRecord> load_rows_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open rows file '" + path + "'");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) return {};
+  if (lines.front() != rows_header()) {
+    throw std::invalid_argument("rows file '" + path +
+                                "' has an unexpected header");
+  }
+  std::vector<RowsRecord> records;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    RowsRecord record;
+    if (parse_rows_line(lines[i], &record)) {
+      records.push_back(std::move(record));
+    } else if (i + 1 == lines.size()) {
+      // Interrupted write: the final line may be torn; the cell it
+      // belonged to is recomputed on resume.
+      continue;
+    } else {
+      throw std::invalid_argument("corrupt rows file '" + path +
+                                  "': bad line " + std::to_string(i + 1));
+    }
+  }
+  return records;
+}
+
+std::string merged_rows(std::vector<RowsRecord> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const RowsRecord& a, const RowsRecord& b) {
+                     if (a.cell != b.cell) return a.cell < b.cell;
+                     if (a.instance != b.instance) {
+                       return a.instance < b.instance;
+                     }
+                     return a.seq < b.seq;
+                   });
+  std::string out = rows_header();
+  out += '\n';
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) {
+      const RowsRecord& prev = records[i - 1];
+      const RowsRecord& cur = records[i];
+      if (prev.cell == cur.cell && prev.instance == cur.instance &&
+          prev.seq == cur.seq) {
+        if (prev.line != cur.line) {
+          throw std::invalid_argument(
+              "conflicting rows for cell " + std::to_string(cur.cell) +
+              " instance " + std::to_string(cur.instance) + " seq " +
+              std::to_string(cur.seq));
+        }
+        continue;  // identical duplicate (rows replayed after a crash)
+      }
+    }
+    out += records[i].line;
+    out += '\n';
+  }
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "api/metrics.h"
+#include "api/sink.h"
 #include "exp/spec.h"
 
 namespace dash::exp {
@@ -53,6 +54,14 @@ struct RunnerOptions {
   /// Streamed per finished cell, in the shard's cell order -- persist
   /// shard records here so interrupted sweeps keep completed cells.
   std::function<void(const CellResult&)> on_cell;
+  /// When set, every cell's suite runs with record_rows on and the
+  /// cell's full per-round row series is streamed here (before
+  /// on_cell) in the suite's deterministic buffered order -- rows
+  /// sorted by (RoundRow::instance, RoundRow::seq). This is how shard
+  /// workers feed per-shard rows files whose merge is byte-identical
+  /// to an in-process CsvStreamSink run.
+  std::function<void(const Cell&, const std::vector<api::RoundRow>&)>
+      on_rows;
   /// Cell indices to skip (already completed, from a resume manifest).
   const std::set<std::size_t>* skip = nullptr;
 };
@@ -97,5 +106,45 @@ std::vector<ShardRecord> load_shard_file(const std::string& path);
 /// about one cell, or cells are missing.
 std::string merged_document(const ExperimentSpec& spec,
                             const std::vector<ShardRecord>& records);
+
+// ---- per-shard rows I/O ----------------------------------------------------
+//
+// With --rows, every worker streams its cells' RoundRows to a CSV-ish
+// rows file: one header, then one line per row prefixed with the
+// (cell, seq) sort key; the row fields themselves come from
+// api::round_row_fields, i.e. exactly the bytes CsvStreamSink would
+// write. merged_rows() reassembles any multiset of rows files into one
+// canonical document -- sorted by (cell, instance, seq), tolerant of
+// identical duplicates (a worker killed after its rows but before its
+// record re-emits them on resume) -- so sharded and in-process runs
+// produce byte-identical rows output.
+
+/// One persisted RoundRow line plus its parsed sort key.
+struct RowsRecord {
+  std::size_t cell = 0;
+  std::size_t instance = 0;
+  std::size_t seq = 0;
+  std::string line;  ///< the full line as written (no newline)
+};
+
+/// The rows-file header line (no newline): "cell,seq," + the
+/// CsvStreamSink column set.
+std::string rows_header();
+
+/// One row's line (no newline): cell, seq, then api::round_row_fields.
+std::string rows_line(std::size_t cell, const api::RoundRow& row);
+
+/// Parse a rows line's sort-key prefix; false on malformed input.
+bool parse_rows_line(const std::string& line, RowsRecord* out);
+
+/// Load a rows file (header + lines). A malformed *final* line
+/// (interrupted write) is dropped -- the resume contract; a bad header
+/// or malformed interior line throws std::invalid_argument.
+std::vector<RowsRecord> load_rows_file(const std::string& path);
+
+/// The canonical rows document: header + every record sorted stably by
+/// (cell, instance, seq), identical duplicates collapsed. Two records
+/// sharing a key but differing in content throw std::invalid_argument.
+std::string merged_rows(std::vector<RowsRecord> records);
 
 }  // namespace dash::exp

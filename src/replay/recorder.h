@@ -1,0 +1,95 @@
+// recorder.h -- capture a live api::Network run as a replayable trace.
+//
+// RecorderSink is an Observer: register it on any engine (before
+// driving events) and every remove / remove_batch / join / scenario
+// phase streams to a TraceWriter as it happens, each applied event
+// stamped with a digest of the post-event network shape. The header
+// (graph + healing-state snapshot) is written at registration time, the
+// footer when the engine finishes -- a run that crashes mid-way leaves
+// a loadable, incomplete trace.
+//
+// record_scenario() is the one-call form: generate the graph, build the
+// engine, record, play -- the exact construction api::run_suite uses,
+// so a suite instance's run can be re-recorded bit-identically by
+// reproducing its RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "api/network.h"
+#include "api/observer.h"
+#include "api/scenario.h"
+#include "replay/trace.h"
+#include "util/rng.h"
+
+namespace dash::replay {
+
+/// Digest of the post-event network shape: the event's identity plus
+/// the engine metric snapshot (deletions, joins, cumulative healing
+/// edges, max delta, component structure) and the graph's alive/edge
+/// counts. Shared by the recorder and the replayer -- equality per
+/// event is the bit-identity certificate, divergence pins the first
+/// differing event.
+std::uint64_t event_digest(const TraceEvent& e, const api::Network& net);
+
+class RecorderSink final : public api::Observer {
+ public:
+  /// `healer_spec` / `scenario_spec` / `seed` are recorded verbatim in
+  /// the header (the healer spec doubles as the replay default). The
+  /// graph/state snapshot is taken when the engine attaches this
+  /// observer, so register it before the first event.
+  RecorderSink(std::ostream& out, std::string healer_spec,
+               std::string scenario_spec, std::uint64_t seed);
+
+  std::string name() const override { return "recorder"; }
+
+  void on_attach(const api::Network& net) override;
+  void on_round_end(const api::Network& net,
+                    const api::RoundEvent& ev) override;
+  void on_join(const api::Network& net, const api::JoinEvent& ev) override;
+  void on_phase(const api::Network& net, const std::string& spec) override;
+  void on_finish(const api::Network& net, api::Metrics& out) override;
+
+  /// Applied events recorded so far (phase markers excluded).
+  std::size_t events() const { return applied_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void record(TraceEvent e, const api::Network& net);
+
+  std::ostream& out_;
+  Trace header_;
+  std::optional<TraceWriter> writer_;
+  std::uint64_t chain_ = kDigestSeed;
+  std::size_t applied_ = 0;
+  bool finished_ = false;
+};
+
+/// One recordable run: the graph source, the healer, the workload.
+struct RecordConfig {
+  /// Draw the starting network from the run's RNG stream (exactly as
+  /// api::SuiteConfig::make_graph does).
+  std::function<graph::Graph(dash::util::Rng&)> make_graph;
+  std::string healer = "dash";
+  api::Scenario scenario;
+  std::uint64_t seed = 1;
+  /// Extra per-run observers (a StretchObserver, an InvariantObserver,
+  /// a SinkObserver...), registered after the recorder.
+  std::function<void(api::Network&)> configure;
+};
+
+/// Execute cfg.scenario with recording: graph generation, healing-state
+/// ids, and every scenario coin flip come from `rng` in the engine's
+/// canonical order. Returns the play's finished Metrics.
+api::Metrics record_scenario(const RecordConfig& cfg, dash::util::Rng& rng,
+                             std::ostream& out);
+
+/// Seed-owning convenience: a fresh stream from cfg.seed (the
+/// single-run equivalent of one suite instance).
+api::Metrics record_scenario(const RecordConfig& cfg, std::ostream& out);
+
+}  // namespace dash::replay

@@ -1,0 +1,50 @@
+// shrink.h -- greedy event-list minimization for failing traces.
+//
+// Given a trace whose replay fails (an invariant violation, a crash
+// condition, any caller-defined predicate), shrink_trace() searches for
+// a minimal failing sub-trace by deleting event chunks ddmin-style:
+// halves first, then quarters, down to single events, keeping every
+// deletion that still fails. This generalizes the ad-hoc operation
+// shrinking the dynamic-connectivity differential test grew for its
+// repros into a reusable harness primitive.
+//
+// write_repro() persists a failing trace where humans (and CI artifact
+// uploads) will find it: an explicit directory, else $DASH_REPRO_DIR,
+// else ./dash_repro -- with a sibling .reason.txt naming the failure.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "replay/trace.h"
+
+namespace dash::replay {
+
+/// True when the candidate trace still reproduces the failure under
+/// investigation. Must be deterministic.
+using TraceOracle = std::function<bool(const Trace&)>;
+
+struct ShrinkStats {
+  std::size_t original_events = 0;
+  std::size_t shrunk_events = 0;
+  std::size_t oracle_calls = 0;
+};
+
+/// Minimize t.events while still_fails() holds; the input trace must
+/// itself fail (checked -- throws TraceError otherwise). The result
+/// carries no footer (its recorded metrics no longer apply).
+Trace shrink_trace(const Trace& t, const TraceOracle& still_fails,
+                   ShrinkStats* stats = nullptr);
+
+/// Resolve the repro directory: `dir` if non-empty, else the
+/// DASH_REPRO_DIR environment variable, else "dash_repro".
+std::string repro_dir(const std::string& dir = {});
+
+/// Write `t` into the repro directory (created if missing) under a
+/// deterministic name derived from its content, plus `<name>.reason.txt`
+/// holding `reason`. Returns the trace path.
+std::string write_repro(const Trace& t, const std::string& reason,
+                        const std::string& dir = {});
+
+}  // namespace dash::replay

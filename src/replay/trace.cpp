@@ -1,0 +1,511 @@
+#include "replay/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/io.h"
+
+namespace dash::replay {
+
+namespace {
+
+// One-line JSON with the same minimal escape set the sink layer uses;
+// the unescaper below is its strict inverse.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Scan an expected literal; advances *pos past it on success.
+bool expect(const std::string& s, std::size_t* pos, const char* lit) {
+  const std::size_t len = std::char_traits<char>::length(lit);
+  if (s.compare(*pos, len, lit) != 0) return false;
+  *pos += len;
+  return true;
+}
+
+bool scan_u64(const std::string& s, std::size_t* pos, std::uint64_t* out) {
+  const std::size_t start = *pos;
+  std::uint64_t value = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(s[*pos] - '0');
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = value;
+  return true;
+}
+
+bool scan_size(const std::string& s, std::size_t* pos, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!scan_u64(s, pos, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// A quoted, escaped string ("..."), unescaped into *out.
+bool scan_quoted(const std::string& s, std::size_t* pos, std::string* out) {
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < s.size()) {
+    const char c = s[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (*pos + 1 >= s.size()) return false;
+      const char esc = s[*pos + 1];
+      *pos += 2;
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (*pos + 4 > s.size()) return false;
+          int value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int digit = hex_value(s[*pos + i]);
+            if (digit < 0) return false;
+            value = value * 16 + digit;
+          }
+          if (value > 0xff) return false;  // the writer only escapes bytes
+          *pos += 4;
+          *out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return false;
+      }
+      continue;
+    }
+    *out += c;
+    ++*pos;
+  }
+  return false;  // unterminated
+}
+
+/// The 16-hex-char digest form.
+bool scan_hex16(const std::string& s, std::size_t* pos, std::uint64_t* out) {
+  if (*pos + 16 > s.size()) return false;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int digit = hex_value(s[*pos + i]);
+    if (digit < 0) return false;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *pos += 16;
+  *out = value;
+  return true;
+}
+
+/// "[1,2,3]" (or "[]").
+bool scan_node_list(const std::string& s, std::size_t* pos,
+                    std::vector<graph::NodeId>* out) {
+  if (!expect(s, pos, "[")) return false;
+  out->clear();
+  if (expect(s, pos, "]")) return true;
+  while (true) {
+    std::uint64_t v = 0;
+    if (!scan_u64(s, pos, &v)) return false;
+    out->push_back(static_cast<graph::NodeId>(v));
+    if (expect(s, pos, "]")) return true;
+    if (!expect(s, pos, ",")) return false;
+  }
+}
+
+std::string node_list(const std::vector<graph::NodeId>& nodes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(nodes[i]);
+  }
+  out += ']';
+  return out;
+}
+
+bool parse_event(const std::string& line, TraceEvent* out) {
+  std::size_t pos = 0;
+  TraceEvent e;
+  if (!expect(line, &pos, "{\"e\":\"")) return false;
+  if (expect(line, &pos, "phase\",\"s\":")) {
+    e.kind = EventKind::kPhase;
+    if (!scan_quoted(line, &pos, &e.phase)) return false;
+    if (!expect(line, &pos, "}")) return false;
+  } else if (expect(line, &pos, "rm\",\"n\":") ||
+             expect(line, &pos, "rmb\",\"n\":")) {
+    // The branch taken tells the kind apart: "rm\"..." failed iff the
+    // event name continued with 'b'.
+    e.kind = line.compare(6, 4, "rmb\"") == 0 ? EventKind::kBatch
+                                              : EventKind::kRemove;
+    if (!scan_node_list(line, &pos, &e.nodes)) return false;
+    if (!expect(line, &pos, ",\"h\":\"")) return false;
+    if (!scan_hex16(line, &pos, &e.row_hash)) return false;
+    if (!expect(line, &pos, "\"}")) return false;
+    if (e.nodes.empty()) return false;
+    if (e.kind == EventKind::kRemove && e.nodes.size() != 1) return false;
+  } else if (expect(line, &pos, "join\",\"id\":")) {
+    e.kind = EventKind::kJoin;
+    std::uint64_t id = 0;
+    if (!scan_u64(line, &pos, &id)) return false;
+    e.joined = static_cast<graph::NodeId>(id);
+    if (!expect(line, &pos, ",\"n\":")) return false;
+    if (!scan_node_list(line, &pos, &e.nodes)) return false;
+    if (!expect(line, &pos, ",\"h\":\"")) return false;
+    if (!scan_hex16(line, &pos, &e.row_hash)) return false;
+    if (!expect(line, &pos, "\"}")) return false;
+  } else {
+    return false;
+  }
+  if (pos != line.size()) return false;
+  *out = std::move(e);
+  return true;
+}
+
+bool parse_footer(const std::string& line, TraceFooter* out) {
+  std::size_t pos = 0;
+  TraceFooter f;
+  if (!expect(line, &pos, "{\"e\":\"end\",\"events\":")) return false;
+  if (!scan_size(line, &pos, &f.events)) return false;
+  if (!expect(line, &pos, ",\"h\":\"")) return false;
+  if (!scan_hex16(line, &pos, &f.row_hash)) return false;
+  if (!expect(line, &pos, "\",\"m\":{\"deletions\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.deletions)) return false;
+  if (!expect(line, &pos, ",\"joins\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.joins)) return false;
+  std::uint64_t v = 0;
+  if (!expect(line, &pos, ",\"max_delta\":")) return false;
+  if (!scan_u64(line, &pos, &v)) return false;
+  f.metrics.max_delta = static_cast<std::uint32_t>(v);
+  if (!expect(line, &pos, ",\"max_id_changes\":")) return false;
+  if (!scan_u64(line, &pos, &v)) return false;
+  f.metrics.max_id_changes = static_cast<std::uint32_t>(v);
+  if (!expect(line, &pos, ",\"max_messages\":")) return false;
+  if (!scan_u64(line, &pos, &f.metrics.max_messages)) return false;
+  if (!expect(line, &pos, ",\"max_messages_sent\":")) return false;
+  if (!scan_u64(line, &pos, &f.metrics.max_messages_sent)) return false;
+  if (!expect(line, &pos, ",\"edges_added\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.edges_added)) return false;
+  if (!expect(line, &pos, ",\"surrogate_heals\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.surrogate_heals)) return false;
+  if (!expect(line, &pos, ",\"components\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.components)) return false;
+  if (!expect(line, &pos, ",\"largest_component\":")) return false;
+  if (!scan_size(line, &pos, &f.metrics.largest_component)) return false;
+  if (!expect(line, &pos, ",\"stayed_connected\":")) return false;
+  if (expect(line, &pos, "true")) {
+    f.metrics.stayed_connected = true;
+  } else if (expect(line, &pos, "false")) {
+    f.metrics.stayed_connected = false;
+  } else {
+    return false;
+  }
+  if (!expect(line, &pos, "}}")) return false;
+  if (pos != line.size()) return false;
+  *out = f;
+  return true;
+}
+
+/// Header parse. Throws: the header is never covered by the
+/// truncated-final-line tolerance (without it there is no trace).
+void parse_header(const std::string& line, Trace* out) {
+  std::size_t pos = 0;
+  if (!expect(line, &pos, "{\"trace\":\"dash-replay\",\"v\":")) {
+    throw TraceError("not a dash-replay trace (bad header magic)");
+  }
+  std::uint64_t version = 0;
+  if (!scan_u64(line, &pos, &version)) {
+    throw TraceError("corrupt trace header: missing version");
+  }
+  if (version != static_cast<std::uint64_t>(kTraceVersion)) {
+    throw VersionMismatchError(static_cast<int>(version), kTraceVersion);
+  }
+  out->version = static_cast<int>(version);
+  if (!expect(line, &pos, ",\"healer\":") ||
+      !scan_quoted(line, &pos, &out->healer) ||
+      !expect(line, &pos, ",\"scenario\":") ||
+      !scan_quoted(line, &pos, &out->scenario) ||
+      !expect(line, &pos, ",\"seed\":") ||
+      !scan_u64(line, &pos, &out->seed) ||
+      !expect(line, &pos, ",\"graph\":") ||
+      !scan_quoted(line, &pos, &out->graph_text) ||
+      !expect(line, &pos, ",\"state\":") ||
+      !scan_quoted(line, &pos, &out->state_text) ||
+      !expect(line, &pos, "}") || pos != line.size()) {
+    throw TraceError("corrupt trace header");
+  }
+}
+
+}  // namespace
+
+VersionMismatchError::VersionMismatchError(int got, int want)
+    : TraceError("trace format version " + std::to_string(got) +
+                 " does not match this build's version " +
+                 std::to_string(want) + " -- re-record the trace"),
+      recorded_(got) {}
+
+std::size_t Trace::applied_events() const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::kPhase) ++n;
+  }
+  return n;
+}
+
+graph::Graph Trace::build_graph() const {
+  std::istringstream in(graph_text);
+  try {
+    return graph::read_edge_list(in);
+  } catch (const std::exception& e) {
+    throw TraceError(std::string("corrupt graph snapshot: ") + e.what());
+  }
+}
+
+core::HealingState Trace::build_state() const {
+  std::istringstream in(state_text);
+  try {
+    return core::HealingState::load(in);
+  } catch (const std::exception& e) {
+    throw TraceError(std::string("corrupt healing-state snapshot: ") +
+                     e.what());
+  }
+}
+
+std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the value's 8 little-endian bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string digest_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+std::string TraceMetrics::describe() const {
+  std::string out;
+  const auto field = [&out](const char* name, std::uint64_t v) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+  };
+  field("deletions", deletions);
+  field("joins", joins);
+  field("max_delta", max_delta);
+  field("max_id_changes", max_id_changes);
+  field("max_messages", max_messages);
+  field("max_messages_sent", max_messages_sent);
+  field("edges_added", edges_added);
+  field("surrogate_heals", surrogate_heals);
+  field("components", components);
+  field("largest_component", largest_component);
+  field("stayed_connected", stayed_connected ? 1 : 0);
+  return out;
+}
+
+std::string header_line(const Trace& t) {
+  std::string out = "{\"trace\":\"dash-replay\",\"v\":";
+  out += std::to_string(t.version);
+  out += ",\"healer\":\"";
+  out += json_escape(t.healer);
+  out += "\",\"scenario\":\"";
+  out += json_escape(t.scenario);
+  out += "\",\"seed\":";
+  out += std::to_string(t.seed);
+  out += ",\"graph\":\"";
+  out += json_escape(t.graph_text);
+  out += "\",\"state\":\"";
+  out += json_escape(t.state_text);
+  out += "\"}";
+  return out;
+}
+
+std::string event_line(const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kPhase:
+      return "{\"e\":\"phase\",\"s\":\"" + json_escape(e.phase) + "\"}";
+    case EventKind::kRemove:
+    case EventKind::kBatch: {
+      std::string out = e.kind == EventKind::kRemove ? "{\"e\":\"rm\",\"n\":"
+                                                     : "{\"e\":\"rmb\",\"n\":";
+      out += node_list(e.nodes);
+      out += ",\"h\":\"";
+      out += digest_hex(e.row_hash);
+      out += "\"}";
+      return out;
+    }
+    case EventKind::kJoin: {
+      std::string out = "{\"e\":\"join\",\"id\":";
+      out += std::to_string(e.joined);
+      out += ",\"n\":";
+      out += node_list(e.nodes);
+      out += ",\"h\":\"";
+      out += digest_hex(e.row_hash);
+      out += "\"}";
+      return out;
+    }
+  }
+  throw TraceError("unreachable event kind");
+}
+
+std::string footer_line(const TraceFooter& f) {
+  const TraceMetrics& m = f.metrics;
+  std::string out = "{\"e\":\"end\",\"events\":";
+  out += std::to_string(f.events);
+  out += ",\"h\":\"";
+  out += digest_hex(f.row_hash);
+  out += "\",\"m\":{\"deletions\":";
+  out += std::to_string(m.deletions);
+  out += ",\"joins\":";
+  out += std::to_string(m.joins);
+  out += ",\"max_delta\":";
+  out += std::to_string(m.max_delta);
+  out += ",\"max_id_changes\":";
+  out += std::to_string(m.max_id_changes);
+  out += ",\"max_messages\":";
+  out += std::to_string(m.max_messages);
+  out += ",\"max_messages_sent\":";
+  out += std::to_string(m.max_messages_sent);
+  out += ",\"edges_added\":";
+  out += std::to_string(m.edges_added);
+  out += ",\"surrogate_heals\":";
+  out += std::to_string(m.surrogate_heals);
+  out += ",\"components\":";
+  out += std::to_string(m.components);
+  out += ",\"largest_component\":";
+  out += std::to_string(m.largest_component);
+  out += ",\"stayed_connected\":";
+  out += m.stayed_connected ? "true" : "false";
+  out += "}}";
+  return out;
+}
+
+TraceWriter::TraceWriter(std::ostream& out, const Trace& header)
+    : out_(out) {
+  out_ << header_line(header) << '\n' << std::flush;
+}
+
+void TraceWriter::event(const TraceEvent& e) {
+  out_ << event_line(e) << '\n' << std::flush;
+  ++events_;
+}
+
+void TraceWriter::finish(const TraceFooter& f) {
+  out_ << footer_line(f) << '\n' << std::flush;
+  finished_ = true;
+}
+
+Trace load_trace(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) throw TraceError("empty trace");
+
+  Trace t;
+  parse_header(lines.front(), &t);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    TraceEvent e;
+    if (parse_event(lines[i], &e)) {
+      t.events.push_back(std::move(e));
+      continue;
+    }
+    TraceFooter f;
+    if (parse_footer(lines[i], &f)) {
+      if (!last) {
+        throw TraceError("corrupt trace: events after the footer (line " +
+                         std::to_string(i + 1) + ")");
+      }
+      if (f.events != t.applied_events()) {
+        throw TraceError(
+            "corrupt trace: footer claims " + std::to_string(f.events) +
+            " events, trace carries " +
+            std::to_string(t.applied_events()));
+      }
+      t.footer = f;
+      continue;
+    }
+    if (last) continue;  // truncated final line: drop it, load incomplete
+    throw TraceError("corrupt trace: bad line " + std::to_string(i + 1));
+  }
+  return t;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open trace file '" + path + "'");
+  return load_trace(in);
+}
+
+void write_trace(std::ostream& out, const Trace& t) {
+  out << header_line(t) << '\n';
+  for (const TraceEvent& e : t.events) out << event_line(e) << '\n';
+  if (t.footer.has_value()) out << footer_line(*t.footer) << '\n';
+  out.flush();
+}
+
+void write_trace_file(const std::string& path, const Trace& t) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw TraceError("cannot open trace file '" + path + "'");
+  write_trace(out, t);
+}
+
+}  // namespace dash::replay

@@ -17,18 +17,38 @@
 // --resume skips every cell already recorded (the orchestrator
 // forwards the flag to its workers), so an interrupted sweep finishes
 // from where it stopped instead of recomputing.
+//
+// The replay verbs capture and re-execute single runs:
+//
+//   dash_lab record --healer dash --scenario paper-churn --n 128
+//       --seed 7 --trace run.trace
+//   dash_lab replay --trace run.trace            # bit-identity check
+//   dash_lab replay --trace run.trace --healer none --lenient --invariants
+//   dash_lab fuzz   --trace run.trace --mutants 50
+//
+// and --chaos kill:<cell> / torn:<cell> on run arms the exp layer's
+// crash-fault injector (DASH_CHAOS) so resume paths stay honest.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/scenario.h"
+#include "exp/chaos.h"
 #include "exp/orchestrator.h"
 #include "exp/runner.h"
 #include "exp/spec.h"
+#include "replay/fuzz.h"
+#include "replay/play.h"
+#include "replay/recorder.h"
+#include "replay/shrink.h"
+#include "replay/trace.h"
 #include "util/cli.h"
 
 namespace {
@@ -48,12 +68,31 @@ struct LabOptions {
   std::uint64_t threads = 0;
   bool resume = false;
   bool quiet = false;
+  // run/merge rows output
+  std::string rows;         ///< --rows per-round rows CSV path
+  std::string rows_inputs;  ///< --rows-inputs per-shard rows files
+  std::string chaos;        ///< --chaos kill:<cell> | torn:<cell>
+  // record/replay/fuzz
+  std::string trace;        ///< --trace file
+  std::string healer;       ///< --healer spec (record default: dash)
+  std::string scenario = "paper-churn";  ///< --scenario spec (record)
+  std::string family = "ba";             ///< --family (record)
+  std::uint64_t n = 128;                 ///< --n initial size (record)
+  std::uint64_t ba_edges = 2;            ///< --ba-edges (record)
+  std::uint64_t seed = 1;                ///< --seed (record/fuzz)
+  std::uint64_t mutants = 20;            ///< --mutants (fuzz)
+  std::string healers;                   ///< --healers a,b,c (fuzz)
+  std::string repro_dir;                 ///< --repro-dir (fuzz)
+  bool lenient = false;                  ///< --lenient (replay)
+  bool invariants = false;               ///< --invariants (replay)
+  bool no_shrink = false;                ///< --no-shrink (fuzz)
 };
 
 int usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: dash_lab <run|merge|list-cells> [options]\n"
+      "usage: dash_lab <run|merge|list-cells|record|replay|fuzz> "
+      "[options]\n"
       "\n"
       "subcommands:\n"
       "  run         execute the grid: sequentially, as one shard\n"
@@ -62,6 +101,14 @@ int usage(std::FILE* to) {
       "  merge       reassemble shard record files (--inputs a,b,...)\n"
       "              into the single BENCH_*.json document\n"
       "  list-cells  print the grid's deterministic cell enumeration\n"
+      "  record      play one scenario, capturing every event as a\n"
+      "              replayable trace (--trace FILE)\n"
+      "  replay      re-execute a trace bit-identically, or leniently\n"
+      "              under another healer (--healer, --lenient,\n"
+      "              --invariants); exit 1 on divergence/violation\n"
+      "  fuzz        mutate a golden trace and replay every mutant\n"
+      "              against every healer; failing mutants shrink to\n"
+      "              repro traces (exit 1 when any healer violated)\n"
       "\n"
       "pass --help after a subcommand for its options\n");
   return to == stdout ? 0 : 2;
@@ -192,13 +239,53 @@ int cmd_run_in_process(const LabOptions& opt, const ExperimentSpec& spec) {
     shard_out.flush();
   }
 
+  // Per-round rows: stream per finished cell (kept cells' rows carry
+  // over from the resume file), canonicalize on completion so the
+  // final file is byte-identical whether this run was the whole grid
+  // or the shards were merged later.
+  std::vector<dash::exp::RowsRecord> rows_records;
+  std::ofstream rows_out;
+  if (!opt.rows.empty()) {
+    if (opt.resume && std::ifstream(opt.rows).good()) {
+      for (auto& row : dash::exp::load_rows_file(opt.rows)) {
+        if (skip.count(row.cell) != 0) rows_records.push_back(std::move(row));
+      }
+    }
+    rows_out.open(opt.rows, std::ios::trunc);
+    if (!rows_out) {
+      throw std::runtime_error("cannot open --rows path '" + opt.rows +
+                               "'");
+    }
+    rows_out << dash::exp::rows_header() << "\n";
+    for (const auto& row : rows_records) rows_out << row.line << "\n";
+    rows_out.flush();
+    ropt.on_rows = [&](const Cell& cell,
+                       const std::vector<dash::api::RoundRow>& rows) {
+      for (const auto& row : rows) {
+        dash::exp::RowsRecord rec;
+        rec.cell = cell.index;
+        rec.instance = row.instance;
+        rec.seq = row.seq;
+        rec.line = dash::exp::rows_line(cell.index, row);
+        rows_out << rec.line << "\n";
+        rows_records.push_back(std::move(rec));
+      }
+      rows_out.flush();  // rows land before the cell's record
+    };
+  }
+
+  const dash::exp::ChaosPlan chaos = dash::exp::chaos_from_env();
   const std::size_t total = spec.enumerate().size();
   ropt.on_cell = [&](const dash::exp::CellResult& result) {
+    const std::string line =
+        dash::exp::shard_line(dash::exp::to_record(spec, result));
     if (shard_out.is_open()) {
-      shard_out << dash::exp::shard_line(
-                       dash::exp::to_record(spec, result))
-                << "\n";
+      dash::exp::chaos_strike(chaos, result.cell.index, shard_out, line);
+      shard_out << line << "\n";
       shard_out.flush();  // every finished cell survives an interrupt
+    } else if (chaos.armed()) {
+      std::ostringstream devnull;  // no record file: torn degrades to kill
+      dash::exp::chaos_strike(chaos, result.cell.index, devnull, line);
     }
     records.push_back(dash::exp::to_record(spec, result));
     if (!opt.quiet) {
@@ -209,6 +296,16 @@ int cmd_run_in_process(const LabOptions& opt, const ExperimentSpec& spec) {
     }
   };
   dash::exp::run(spec, ropt);
+
+  if (rows_out.is_open()) {
+    rows_out.close();
+    std::ofstream canonical(opt.rows, std::ios::trunc);
+    if (!canonical) {
+      throw std::runtime_error("cannot rewrite --rows path '" + opt.rows +
+                               "'");
+    }
+    canonical << dash::exp::merged_rows(std::move(rows_records));
+  }
 
   // A full in-process grid can emit the merged document directly; a
   // true shard cannot (its records are a strict subset), which the
@@ -221,6 +318,10 @@ int cmd_run_in_process(const LabOptions& opt, const ExperimentSpec& spec) {
 
 int cmd_run(const LabOptions& opt, const char* argv0) {
   const ExperimentSpec spec = load_spec(opt);
+  if (!opt.chaos.empty()) {
+    dash::exp::parse_chaos(opt.chaos);  // validate before arming
+    ::setenv(dash::exp::kChaosEnv, opt.chaos.c_str(), 1);
+  }
   if (opt.workers == 0) return cmd_run_in_process(opt, spec);
 
   if (!opt.shard.empty() || !opt.out.empty()) {
@@ -237,7 +338,29 @@ int cmd_run(const LabOptions& opt, const char* argv0) {
   oopt.shard_dir = opt.shard_dir;
   oopt.resume = opt.resume;
   oopt.threads = static_cast<std::size_t>(opt.threads);
-  emit_document(opt, dash::exp::orchestrate(spec, oopt));
+  oopt.rows = !opt.rows.empty();
+  dash::exp::OrchestrateResult result;
+  try {
+    result = dash::exp::orchestrate(spec, oopt);
+  } catch (const dash::exp::OrchestrateError& e) {
+    for (const auto& worker : e.workers()) {
+      std::fprintf(stderr, "  worker %s\n", worker.describe().c_str());
+    }
+    throw;
+  }
+  if (!opt.rows.empty()) {
+    std::ofstream rows_out(opt.rows, std::ios::trunc);
+    if (!rows_out) {
+      throw std::runtime_error("cannot open --rows path '" + opt.rows +
+                               "'");
+    }
+    rows_out << result.rows;
+    if (!opt.quiet) {
+      std::fprintf(stderr, "merged rows written to %s\n",
+                   opt.rows.c_str());
+    }
+  }
+  emit_document(opt, result.document);
   return 0;
 }
 
@@ -252,8 +375,111 @@ int cmd_merge(const LabOptions& opt) {
     const auto shard = dash::exp::load_shard_file(path);
     records.insert(records.end(), shard.begin(), shard.end());
   }
+  if (!opt.rows_inputs.empty()) {
+    if (opt.rows.empty()) {
+      throw std::invalid_argument(
+          "--rows-inputs needs --rows <file> for the merged rows");
+    }
+    std::vector<dash::exp::RowsRecord> rows;
+    for (const std::string& path : split_commas(opt.rows_inputs)) {
+      auto shard_rows = dash::exp::load_rows_file(path);
+      rows.insert(rows.end(),
+                  std::make_move_iterator(shard_rows.begin()),
+                  std::make_move_iterator(shard_rows.end()));
+    }
+    std::ofstream rows_out(opt.rows, std::ios::trunc);
+    if (!rows_out) {
+      throw std::runtime_error("cannot open --rows path '" + opt.rows +
+                               "'");
+    }
+    rows_out << dash::exp::merged_rows(std::move(rows));
+    if (!opt.quiet) {
+      std::fprintf(stderr, "merged rows written to %s\n",
+                   opt.rows.c_str());
+    }
+  }
   emit_document(opt, dash::exp::merged_document(spec, records));
   return 0;
+}
+
+// ---- replay verbs ----------------------------------------------------------
+
+int cmd_record(const LabOptions& opt) {
+  if (opt.trace.empty()) {
+    throw std::invalid_argument("record needs --trace <file>");
+  }
+  dash::replay::RecordConfig cfg;
+  cfg.make_graph = dash::exp::make_family(
+      opt.family, static_cast<std::size_t>(opt.n),
+      static_cast<std::size_t>(opt.ba_edges));
+  cfg.healer = opt.healer.empty() ? "dash" : opt.healer;
+  cfg.scenario = dash::api::Scenario::parse(opt.scenario);
+  cfg.seed = opt.seed;
+  std::ofstream out(opt.trace, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open --trace path '" + opt.trace +
+                             "'");
+  }
+  const dash::api::Metrics m = dash::replay::record_scenario(cfg, out);
+  if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "recorded %s: healer=%s scenario=%s seed=%llu "
+                 "deletions=%zu joins=%zu\n",
+                 opt.trace.c_str(), cfg.healer.c_str(),
+                 cfg.scenario.spec().c_str(),
+                 static_cast<unsigned long long>(opt.seed), m.deletions,
+                 m.joins);
+  }
+  return 0;
+}
+
+int cmd_replay(const LabOptions& opt) {
+  if (opt.trace.empty()) {
+    throw std::invalid_argument("replay needs --trace <file>");
+  }
+  const dash::replay::Trace t = dash::replay::load_trace_file(opt.trace);
+  dash::replay::ReplayOptions ropt;
+  ropt.healer_override = opt.healer;
+  ropt.lenient = opt.lenient;
+  ropt.check_invariants = opt.invariants;
+  const dash::replay::ReplayResult r = dash::replay::play_trace(t, ropt);
+  if (!opt.quiet) {
+    std::fprintf(stderr, "replayed %zu events (%zu skipped) healer=%s%s\n",
+                 r.applied, r.skipped,
+                 opt.healer.empty() ? t.healer.c_str() : opt.healer.c_str(),
+                 t.complete() ? "" : " [incomplete trace]");
+  }
+  if (r.ok()) return 0;
+  std::fprintf(stderr, "replay failed: %s\n", r.failure().c_str());
+  return 1;
+}
+
+int cmd_fuzz(const LabOptions& opt) {
+  if (opt.trace.empty()) {
+    throw std::invalid_argument("fuzz needs --trace <file>");
+  }
+  const dash::replay::Trace t = dash::replay::load_trace_file(opt.trace);
+  dash::replay::FuzzOptions fopt;
+  fopt.mutants = static_cast<std::size_t>(opt.mutants);
+  fopt.seed = opt.seed;
+  fopt.healers = split_commas(opt.healers);
+  fopt.shrink = !opt.no_shrink;
+  fopt.repro_dir = opt.repro_dir;
+  const dash::replay::FuzzReport report =
+      dash::replay::fuzz_trace(t, fopt);
+  if (!opt.quiet || !report.ok()) {
+    std::fprintf(stderr, "fuzz: %zu mutants, %zu replays, %zu failures\n",
+                 report.mutants, report.replays, report.failures.size());
+  }
+  for (const auto& f : report.failures) {
+    std::fprintf(stderr,
+                 "  mutant %zu healer %s: %s (%zu -> %zu events)%s%s\n",
+                 f.mutant, f.healer.c_str(), f.violation.c_str(),
+                 f.original_events, f.shrunk_events,
+                 f.repro_path.empty() ? "" : " repro ",
+                 f.repro_path.c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -262,7 +488,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(stderr);
   const std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(stdout);
-  if (cmd != "run" && cmd != "merge" && cmd != "list-cells") {
+  const bool grid_cmd =
+      cmd == "run" || cmd == "merge" || cmd == "list-cells";
+  const bool trace_cmd =
+      cmd == "record" || cmd == "replay" || cmd == "fuzz";
+  if (!grid_cmd && !trace_cmd) {
     std::fprintf(stderr, "dash_lab: unknown subcommand '%s'\n\n",
                  cmd.c_str());
     return usage(stderr);
@@ -270,12 +500,14 @@ int main(int argc, char** argv) {
 
   LabOptions lab;
   dash::util::Options opt("dash_lab " + cmd +
-                          " -- experiment grids, sharded execution and "
-                          "byte-stable merges");
-  opt.add_string("spec", &lab.spec_path, "experiment spec file");
-  opt.add_string("grid", &lab.grid,
-                 "one-line spec, e.g. 'n=64|128 healer=dash|sdash "
-                 "scenario=paper-churn instances=5'");
+                          " -- experiment grids, sharded execution, "
+                          "byte-stable merges and trace replay");
+  if (grid_cmd) {
+    opt.add_string("spec", &lab.spec_path, "experiment spec file");
+    opt.add_string("grid", &lab.grid,
+                   "one-line spec, e.g. 'n=64|128 healer=dash|sdash "
+                   "scenario=paper-churn instances=5'");
+  }
   if (cmd == "run") {
     opt.add_string("shard", &lab.shard,
                    "run only cells of shard I/N (requires --out)");
@@ -290,15 +522,63 @@ int main(int argc, char** argv) {
     opt.add_uint("threads", &lab.threads,
                  "suite worker threads per process (0 = hardware "
                  "concurrency, 1 = sequential)");
+    opt.add_string("rows", &lab.rows,
+                   "stream per-round rows here (canonical CSV; with "
+                   "--workers the merged rows of every shard)");
+    opt.add_string("chaos", &lab.chaos,
+                   "crash-fault injection: kill:<cell> or torn:<cell> "
+                   "(arms DASH_CHAOS for this run and its workers)");
   }
   if (cmd == "merge") {
     opt.add_string("inputs", &lab.inputs,
                    "comma-separated shard record files");
+    opt.add_string("rows-inputs", &lab.rows_inputs,
+                   "comma-separated per-shard rows files");
+    opt.add_string("rows", &lab.rows,
+                   "write the merged rows CSV here (with --rows-inputs)");
   }
-  if (cmd != "list-cells") {
+  if (trace_cmd) {
+    opt.add_string("trace", &lab.trace, "the trace file (required)");
+  }
+  if (cmd == "record") {
+    opt.add_string("family", &lab.family,
+                   "graph family (ba, tree, gnp, ws, cycle)");
+    opt.add_uint("n", &lab.n, "initial graph size");
+    opt.add_uint("ba-edges", &lab.ba_edges, "BA attachment edges");
+    opt.add_string("healer", &lab.healer,
+                   "healer registry spec (default dash)");
+    opt.add_string("scenario", &lab.scenario, "scenario spec");
+    opt.add_uint("seed", &lab.seed, "run seed");
+  }
+  if (cmd == "replay") {
+    opt.add_string("healer", &lab.healer,
+                   "replay under this healer instead of the recorded "
+                   "one (disables digest verification)");
+    opt.add_flag("lenient", &lab.lenient,
+                 "skip events the graph state cannot apply (mutated/"
+                 "truncated traces) instead of failing");
+    opt.add_flag("invariants", &lab.invariants,
+                 "attach the invariant battery; violations fail the "
+                 "replay");
+  }
+  if (cmd == "fuzz") {
+    opt.add_uint("mutants", &lab.mutants, "number of mutants");
+    opt.add_uint("seed", &lab.seed, "fuzz seed");
+    opt.add_string("healers", &lab.healers,
+                   "comma-separated healer specs (default: the paper "
+                   "strategy set)");
+    opt.add_string("repro-dir", &lab.repro_dir,
+                   "repro trace directory (default $DASH_REPRO_DIR, "
+                   "else dash_repro)");
+    opt.add_flag("no-shrink", &lab.no_shrink,
+                 "keep failing mutants unshrunk (no repro files)");
+  }
+  if (cmd == "run" || cmd == "merge") {
     opt.add_string("json", &lab.json,
                    "write the merged BENCH_*.json here (default: stdout "
                    "for whole-grid runs)");
+  }
+  if (cmd != "list-cells") {
     opt.add_flag("quiet", &lab.quiet, "suppress progress on stderr");
   }
 
@@ -312,6 +592,9 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list-cells") return cmd_list_cells(lab);
     if (cmd == "merge") return cmd_merge(lab);
+    if (cmd == "record") return cmd_record(lab);
+    if (cmd == "replay") return cmd_replay(lab);
+    if (cmd == "fuzz") return cmd_fuzz(lab);
     return cmd_run(lab, argv[0]);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "dash_lab %s: %s\n", cmd.c_str(), e.what());
