@@ -11,6 +11,11 @@
 #include "util/check.h"
 #include "util/csv.h"
 
+// Defined in replay/trace_phase.cpp; see the registry builder below.
+namespace dash::replay::detail {
+void register_trace_phase(dash::util::Registry<dash::api::ScenarioPhase>* r);
+}  // namespace dash::replay::detail
+
 namespace dash::api {
 
 namespace {
@@ -707,6 +712,10 @@ util::Registry<ScenarioPhase>& scenario_phase_registry() {
     add_preset(r, "max-degree-attack", "targeted:maxnode");
     add_preset(r, "until-half", "untilfrac:0.5,maxnode");
     add_preset(r, "until-quarter", "untilfrac:0.25,maxnode");
+    // "trace:<file>" lives in the replay layer, which api headers
+    // cannot include; both sides link into one library, so the phase
+    // registers itself through this hook (replay/trace_phase.cpp).
+    dash::replay::detail::register_trace_phase(r);
     return r;
   }();
   return *registry;

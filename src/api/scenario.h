@@ -37,6 +37,11 @@
 //                                n of a sweep grid
 //   repeat:<k>{...}              repeat a nested phase list k times
 //   floor:<n>                    never delete below n alive nodes
+//   trace:<file>                 replay a recorded trace's event
+//                                stream (replay/trace_phase.h),
+//                                leniently -- dead/out-of-range ids
+//                                are filtered per event, so one trace
+//                                drives any network size
 //
 // Named presets (whole phase lists registered under one spelling, e.g.
 // "paper-churn", "max-degree-attack", "until-half", "until-quarter")

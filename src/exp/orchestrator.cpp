@@ -13,10 +13,8 @@
 
 namespace dash::exp {
 
-namespace {
-
-/// fork + exec one worker; returns its pid. The child never returns.
-pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
+pid_t spawn_process(const std::string& exe,
+                    const std::vector<std::string>& args) {
   const pid_t pid = ::fork();
   if (pid < 0) {
     throw std::runtime_error(std::string("fork failed: ") +
@@ -42,7 +40,21 @@ pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
   return pid;
 }
 
-}  // namespace
+WorkerStatus wait_process(pid_t pid) {
+  WorkerStatus ws;
+  int st = 0;
+  if (::waitpid(pid, &st, 0) < 0) {
+    return ws;  // neither exited nor signaled: describe() says so
+  }
+  if (WIFEXITED(st)) {
+    ws.exited = true;
+    ws.exit_code = WEXITSTATUS(st);
+  } else if (WIFSIGNALED(st)) {
+    ws.signaled = true;
+    ws.signal_no = WTERMSIG(st);
+  }
+  return ws;
+}
 
 std::string WorkerStatus::describe() const {
   std::string out = "shard " + std::to_string(shard) + "/" +
@@ -109,7 +121,7 @@ OrchestrateResult orchestrate(const ExperimentSpec& spec,
       args.push_back(rows_path(opt.shard_dir, i, opt.workers));
     }
     if (opt.resume) args.push_back("--resume");
-    pids.push_back(spawn(opt.exe, args));
+    pids.push_back(spawn_process(opt.exe, args));
   }
 
   // Wait for every worker before judging any of them, so a failure
@@ -119,20 +131,9 @@ OrchestrateResult orchestrate(const ExperimentSpec& spec,
   bool all_ok = true;
   for (std::size_t i = 0; i < pids.size(); ++i) {
     WorkerStatus& ws = result.workers[i];
+    ws = wait_process(pids[i]);
     ws.shard = i;
     ws.count = opt.workers;
-    int st = 0;
-    if (::waitpid(pids[i], &st, 0) < 0) {
-      all_ok = false;
-      continue;  // neither exited nor signaled: describe() says so
-    }
-    if (WIFEXITED(st)) {
-      ws.exited = true;
-      ws.exit_code = WEXITSTATUS(st);
-    } else if (WIFSIGNALED(st)) {
-      ws.signaled = true;
-      ws.signal_no = WTERMSIG(st);
-    }
     all_ok = all_ok && ws.ok();
   }
   if (!all_ok) {

@@ -13,6 +13,8 @@
 // recomputes only what is missing.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -100,5 +102,16 @@ OrchestrateResult orchestrate(const ExperimentSpec& spec,
 /// Absolute path of the running binary (/proc/self/exe when
 /// available, argv0 otherwise).
 std::string current_executable(const char* argv0);
+
+/// fork + exec `exe` with `args` (argv[0] is exe itself); returns the
+/// child pid, throws std::runtime_error when fork fails. Shared with
+/// the fleet layer, whose serve verb spawns local agent processes the
+/// same way orchestrate() spawns shard workers.
+pid_t spawn_process(const std::string& exe,
+                    const std::vector<std::string>& args);
+
+/// waitpid `pid` and decode its fate (exit code or killing signal)
+/// into a WorkerStatus; shard/count are left at zero for the caller.
+WorkerStatus wait_process(pid_t pid);
 
 }  // namespace dash::exp

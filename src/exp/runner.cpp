@@ -73,6 +73,44 @@ std::string render_group(const ExperimentSpec& spec, const Cell& cell,
   return doc.substr(prefix, doc.size() - prefix - suffix);
 }
 
+CellResult run_cell(
+    const ExperimentSpec& spec, const Cell& cell,
+    dash::util::ThreadPool* pool,
+    const std::function<void(const Cell&, const std::vector<api::RoundRow>&)>&
+        on_rows) {
+  const api::ConnectivityMode mode = parse_mode(spec.connectivity);
+  api::SuiteConfig cfg;
+  cfg.make_graph = make_family(cell.family, cell.n, spec.ba_edges);
+  cfg.make_healer = api::healer_factory(cell.healer);
+  cfg.scenario = api::Scenario::parse(cell.scenario);
+  cfg.instances = cell.instances;
+  cfg.base_seed = cell.seed;
+  const std::size_t stretch_every = spec.stretch_every;
+  cfg.configure = [stretch_every, mode](api::Network& net) {
+    if (stretch_every > 0) {
+      net.add_observer(
+          std::make_unique<api::StretchObserver>(stretch_every));
+    }
+    net.set_connectivity_mode(mode);
+  };
+  // Row capture only changes what is observed, never the run itself
+  // (SinkObserver reads the engine's incremental component tracker),
+  // so metrics stay byte-identical with or without on_rows.
+  api::MemorySink row_sink;
+  if (on_rows) {
+    cfg.record_rows = true;
+    cfg.sinks.push_back(&row_sink);
+  }
+
+  CellResult result;
+  result.cell = cell;
+  result.runs = pool != nullptr ? api::run_suite(cfg, *pool)
+                                : api::run_suite(cfg);
+  result.group_json = render_group(spec, cell, result.runs);
+  if (on_rows) on_rows(cell, row_sink.rows());
+  return result;
+}
+
 std::vector<CellResult> run(const ExperimentSpec& spec,
                             const RunnerOptions& opt) {
   if (opt.shard.count == 0 || opt.shard.index >= opt.shard.count) {
@@ -81,7 +119,6 @@ std::vector<CellResult> run(const ExperimentSpec& spec,
         " of " + std::to_string(opt.shard.count));
   }
   const auto cells = spec.enumerate();
-  const api::ConnectivityMode mode = parse_mode(spec.connectivity);
 
   // One pool serves every suite of the shard (run_suite borrows it per
   // call and never stores it).
@@ -92,37 +129,9 @@ std::vector<CellResult> run(const ExperimentSpec& spec,
   for (const Cell& cell : cells) {
     if (cell.index % opt.shard.count != opt.shard.index) continue;
     if (opt.skip != nullptr && opt.skip->count(cell.index) != 0) continue;
-
-    api::SuiteConfig cfg;
-    cfg.make_graph = make_family(cell.family, cell.n, spec.ba_edges);
-    cfg.make_healer = api::healer_factory(cell.healer);
-    cfg.scenario = api::Scenario::parse(cell.scenario);
-    cfg.instances = cell.instances;
-    cfg.base_seed = cell.seed;
-    const std::size_t stretch_every = spec.stretch_every;
-    cfg.configure = [stretch_every, mode](api::Network& net) {
-      if (stretch_every > 0) {
-        net.add_observer(
-            std::make_unique<api::StretchObserver>(stretch_every));
-      }
-      net.set_connectivity_mode(mode);
-    };
-    // Row capture only changes what is observed, never the run itself
-    // (SinkObserver reads the engine's incremental component tracker),
-    // so metrics stay byte-identical with or without on_rows.
-    api::MemorySink row_sink;
-    if (opt.on_rows) {
-      cfg.record_rows = true;
-      cfg.sinks.push_back(&row_sink);
-    }
-
-    CellResult result;
-    result.cell = cell;
-    result.runs = pool ? api::run_suite(cfg, *pool) : api::run_suite(cfg);
-    result.group_json = render_group(spec, cell, result.runs);
-    if (opt.on_rows) opt.on_rows(cell, row_sink.rows());
-    if (opt.on_cell) opt.on_cell(result);
-    results.push_back(std::move(result));
+    results.push_back(
+        run_cell(spec, cell, pool ? &*pool : nullptr, opt.on_rows));
+    if (opt.on_cell) opt.on_cell(results.back());
   }
   return results;
 }

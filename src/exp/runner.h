@@ -28,6 +28,10 @@
 #include "api/sink.h"
 #include "exp/spec.h"
 
+namespace dash::util {
+class ThreadPool;
+}
+
 namespace dash::exp {
 
 /// Which slice of the cell list this process executes: cells with
@@ -71,6 +75,19 @@ struct RunnerOptions {
 /// for malformed shard options and anything spec validation rejects.
 std::vector<CellResult> run(const ExperimentSpec& spec,
                             const RunnerOptions& opt = {});
+
+/// Execute exactly one cell of the grid -- the work-stealing quantum
+/// the fleet layer (fleet/agent.h) dispatches. `pool` (when non-null)
+/// fans the cell's suite instances out; `on_rows`, when set, receives
+/// the cell's full deterministic row series before returning. The
+/// result (and its rows) is byte-identical to the same cell executed
+/// by run() under any sharding -- that is what lets a coordinator merge
+/// cells computed by any agent in any order.
+CellResult run_cell(
+    const ExperimentSpec& spec, const Cell& cell,
+    dash::util::ThreadPool* pool = nullptr,
+    const std::function<void(const Cell&, const std::vector<api::RoundRow>&)>&
+        on_rows = {});
 
 /// Render one cell's BENCH group object from its per-instance metrics
 /// (exposed for tests; run() fills CellResult::group_json with it).

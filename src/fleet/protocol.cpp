@@ -1,0 +1,471 @@
+#include "fleet/protocol.h"
+
+#include <array>
+#include <utility>
+
+namespace dash::fleet {
+
+namespace {
+
+/// The wire spellings, indexed by MessageType.
+constexpr std::array<const char*, 11> kTypeNames = {
+    "hello",  "welcome", "claim",  "grant",    "heartbeat", "rows",
+    "result", "status",  "report", "shutdown", "error",
+};
+
+// ---- strict positional scanning (shard-line style) ------------------------
+
+bool expect(const std::string& s, std::size_t* pos, const char* lit) {
+  const std::size_t len = std::char_traits<char>::length(lit);
+  if (s.compare(*pos, len, lit) != 0) return false;
+  *pos += len;
+  return true;
+}
+
+bool scan_size(const std::string& s, std::size_t* pos, std::size_t* out) {
+  const std::size_t start = *pos;
+  std::size_t value = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[*pos] - '0');
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = value;
+  return true;
+}
+
+/// Scan a JSON string literal (opening quote at *pos) into *out,
+/// unescaping; advances past the closing quote.
+bool scan_string(const std::string& s, std::size_t* pos, std::string* out) {
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  ++*pos;
+  std::string raw;
+  while (*pos < s.size() && s[*pos] != '"') {
+    if (s[*pos] == '\\') {
+      if (*pos + 1 >= s.size()) return false;
+      raw += s[*pos];
+      raw += s[*pos + 1];
+      *pos += 2;
+      continue;
+    }
+    raw += s[*pos];
+    ++*pos;
+  }
+  if (*pos >= s.size()) return false;
+  ++*pos;  // closing quote
+  return unescape_json(raw, out);
+}
+
+void append_string_field(std::string* out, const char* key,
+                         const std::string& value, bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  *out += escape_json(value);
+  *out += '"';
+}
+
+void append_size_field(std::string* out, const char* key, std::size_t value,
+                       bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+[[noreturn]] void bad(const std::string& payload, const char* why) {
+  std::string head = payload.substr(0, 96);
+  throw FrameError(std::string("malformed fleet message (") + why +
+                   "): " + head);
+}
+
+}  // namespace
+
+VersionMismatchError::VersionMismatchError(int got, int want)
+    : FrameError("fleet protocol version mismatch: peer speaks v" +
+                 std::to_string(got) + ", this build is v" +
+                 std::to_string(want) + " -- update the older side"),
+      peer_(got) {}
+
+SpecMismatchError::SpecMismatchError(const std::string& got,
+                                     const std::string& want)
+    : FrameError("fleet spec hash mismatch: agent was given spec " + got +
+                 ", the coordinator serves " + want +
+                 " -- hand every agent the coordinator's exact spec") {}
+
+std::string type_name(MessageType type) {
+  return kTypeNames[static_cast<std::size_t>(type)];
+}
+
+// ---- escaping --------------------------------------------------------------
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[c >> 4];
+          out += kHex[c & 0xF];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool unescape_json(const std::string& s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) return false;
+    const char e = s[++i];
+    switch (e) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        unsigned value = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[i + 1 + static_cast<std::size_t>(k)];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        if (value > 0xFF) return false;  // only \u00XX is ever written
+        out->push_back(static_cast<char>(value));
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+// ---- message (de)serialization --------------------------------------------
+
+std::string encode_message(const Message& m) {
+  std::string out = "{\"type\":\"";
+  out += type_name(m.type);
+  out += '"';
+  bool first = false;
+  switch (m.type) {
+    case MessageType::kHello:
+      append_size_field(&out, "version",
+                        static_cast<std::size_t>(m.version), &first);
+      append_string_field(&out, "spec_hash", m.spec_hash, &first);
+      append_string_field(&out, "agent", m.agent, &first);
+      break;
+    case MessageType::kWelcome:
+      append_size_field(&out, "version",
+                        static_cast<std::size_t>(m.version), &first);
+      append_size_field(&out, "cells", m.cells, &first);
+      append_size_field(&out, "heartbeat_ms", m.heartbeat_ms, &first);
+      append_size_field(&out, "rows", m.rows ? 1 : 0, &first);
+      break;
+    case MessageType::kGrant:
+      append_size_field(&out, "cell", m.cell, &first);
+      break;
+    case MessageType::kRows: {
+      append_size_field(&out, "cell", m.cell, &first);
+      out += ",\"lines\":[";
+      for (std::size_t i = 0; i < m.lines.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += escape_json(m.lines[i]);
+        out += '"';
+      }
+      out += ']';
+      break;
+    }
+    case MessageType::kResult:
+      append_size_field(&out, "cell", m.cell, &first);
+      append_string_field(&out, "record", m.record, &first);
+      break;
+    case MessageType::kReport:
+    case MessageType::kShutdown:
+      append_string_field(&out, "text", m.text, &first);
+      break;
+    case MessageType::kError:
+      append_string_field(&out, "code", m.code, &first);
+      append_string_field(&out, "message", m.message, &first);
+      break;
+    case MessageType::kClaim:
+    case MessageType::kHeartbeat:
+    case MessageType::kStatus:
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+Message decode_message(const std::string& payload) {
+  std::size_t pos = 0;
+  Message m;
+  if (!expect(payload, &pos, "{\"type\":\"")) bad(payload, "no type");
+  std::size_t type_index = kTypeNames.size();
+  for (std::size_t i = 0; i < kTypeNames.size(); ++i) {
+    std::size_t probe = pos;
+    if (expect(payload, &probe, kTypeNames[i]) && probe < payload.size() &&
+        payload[probe] == '"') {
+      type_index = i;
+      pos = probe + 1;
+      break;
+    }
+  }
+  if (type_index == kTypeNames.size()) bad(payload, "unknown type");
+  m.type = static_cast<MessageType>(type_index);
+
+  const auto scan_str = [&](const char* key, std::string* out) {
+    std::string lit = ",\"";
+    lit += key;
+    lit += "\":";
+    if (!expect(payload, &pos, lit.c_str()) ||
+        !scan_string(payload, &pos, out)) {
+      bad(payload, key);
+    }
+  };
+  const auto scan_num = [&](const char* key, std::size_t* out) {
+    std::string lit = ",\"";
+    lit += key;
+    lit += "\":";
+    if (!expect(payload, &pos, lit.c_str()) ||
+        !scan_size(payload, &pos, out)) {
+      bad(payload, key);
+    }
+  };
+
+  switch (m.type) {
+    case MessageType::kHello: {
+      std::size_t version = 0;
+      scan_num("version", &version);
+      m.version = static_cast<int>(version);
+      scan_str("spec_hash", &m.spec_hash);
+      scan_str("agent", &m.agent);
+      break;
+    }
+    case MessageType::kWelcome: {
+      std::size_t version = 0;
+      scan_num("version", &version);
+      m.version = static_cast<int>(version);
+      scan_num("cells", &m.cells);
+      scan_num("heartbeat_ms", &m.heartbeat_ms);
+      std::size_t rows = 0;
+      scan_num("rows", &rows);
+      if (rows > 1) bad(payload, "rows");
+      m.rows = rows == 1;
+      break;
+    }
+    case MessageType::kGrant:
+      scan_num("cell", &m.cell);
+      break;
+    case MessageType::kRows: {
+      scan_num("cell", &m.cell);
+      if (!expect(payload, &pos, ",\"lines\":[")) bad(payload, "lines");
+      if (pos < payload.size() && payload[pos] == ']') {
+        ++pos;
+      } else {
+        while (true) {
+          std::string line;
+          if (!scan_string(payload, &pos, &line)) bad(payload, "lines");
+          m.lines.push_back(std::move(line));
+          if (pos >= payload.size()) bad(payload, "lines");
+          if (payload[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (payload[pos] == ']') {
+            ++pos;
+            break;
+          }
+          bad(payload, "lines");
+        }
+      }
+      break;
+    }
+    case MessageType::kResult:
+      scan_num("cell", &m.cell);
+      scan_str("record", &m.record);
+      break;
+    case MessageType::kReport:
+    case MessageType::kShutdown:
+      scan_str("text", &m.text);
+      break;
+    case MessageType::kError:
+      scan_str("code", &m.code);
+      scan_str("message", &m.message);
+      break;
+    case MessageType::kClaim:
+    case MessageType::kHeartbeat:
+    case MessageType::kStatus:
+      break;
+  }
+  if (!expect(payload, &pos, "}") || pos != payload.size()) {
+    bad(payload, "trailing bytes");
+  }
+  return m;
+}
+
+// ---- framing ---------------------------------------------------------------
+
+std::string frame_bytes(const std::string& payload) {
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(payload.size() + 4);
+  out += static_cast<char>((size >> 24) & 0xFF);
+  out += static_cast<char>((size >> 16) & 0xFF);
+  out += static_cast<char>((size >> 8) & 0xFF);
+  out += static_cast<char>(size & 0xFF);
+  out += payload;
+  return out;
+}
+
+bool take_frame(std::string* buf, std::string* out) {
+  if (buf->size() < 4) return false;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>((*buf)[i]));
+  };
+  const std::uint32_t size = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (size == 0 || size > kMaxFrameBytes) {
+    throw FrameError("corrupt frame length prefix: " + std::to_string(size));
+  }
+  if (buf->size() < 4 + static_cast<std::size_t>(size)) return false;
+  *out = buf->substr(4, size);
+  buf->erase(0, 4 + static_cast<std::size_t>(size));
+  return true;
+}
+
+// ---- convenience constructors ---------------------------------------------
+
+Message make_hello(const std::string& spec_hash, const std::string& agent) {
+  Message m;
+  m.type = MessageType::kHello;
+  m.version = kProtocolVersion;
+  m.spec_hash = spec_hash;
+  m.agent = agent;
+  return m;
+}
+
+Message make_welcome(std::size_t cells, std::size_t heartbeat_ms, bool rows) {
+  Message m;
+  m.type = MessageType::kWelcome;
+  m.version = kProtocolVersion;
+  m.cells = cells;
+  m.heartbeat_ms = heartbeat_ms;
+  m.rows = rows;
+  return m;
+}
+
+Message make_claim() {
+  Message m;
+  m.type = MessageType::kClaim;
+  return m;
+}
+
+Message make_grant(std::size_t cell) {
+  Message m;
+  m.type = MessageType::kGrant;
+  m.cell = cell;
+  return m;
+}
+
+Message make_heartbeat() {
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  return m;
+}
+
+Message make_rows(std::size_t cell, std::vector<std::string> lines) {
+  Message m;
+  m.type = MessageType::kRows;
+  m.cell = cell;
+  m.lines = std::move(lines);
+  return m;
+}
+
+Message make_result(std::size_t cell, std::string record) {
+  Message m;
+  m.type = MessageType::kResult;
+  m.cell = cell;
+  m.record = std::move(record);
+  return m;
+}
+
+Message make_status() {
+  Message m;
+  m.type = MessageType::kStatus;
+  return m;
+}
+
+Message make_report(std::string text) {
+  Message m;
+  m.type = MessageType::kReport;
+  m.text = std::move(text);
+  return m;
+}
+
+Message make_shutdown(std::string reason) {
+  Message m;
+  m.type = MessageType::kShutdown;
+  m.text = std::move(reason);
+  return m;
+}
+
+Message make_error(std::string code, std::string message) {
+  Message m;
+  m.type = MessageType::kError;
+  m.code = std::move(code);
+  m.message = std::move(message);
+  return m;
+}
+
+}  // namespace dash::fleet

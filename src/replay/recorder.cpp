@@ -1,13 +1,82 @@
 #include "replay/recorder.h"
 
 #include <sstream>
+#include <streambuf>
 #include <utility>
 
+#include "api/observers.h"
 #include "core/factory.h"
 #include "graph/io.h"
+#include "replay/play.h"
+#include "replay/shrink.h"
 #include "util/check.h"
 
 namespace dash::replay {
+
+namespace {
+
+/// Duplicates every byte to two sinks -- the caller's trace stream and
+/// the in-memory copy the auto-repro path shrinks from.
+class TeeBuf final : public std::streambuf {
+ public:
+  TeeBuf(std::streambuf* a, std::streambuf* b) : a_(a), b_(b) {}
+
+ protected:
+  int overflow(int c) override {
+    if (c == traits_type::eof()) return c;
+    const char ch = traits_type::to_char_type(c);
+    if (a_->sputc(ch) == traits_type::eof()) return traits_type::eof();
+    if (b_->sputc(ch) == traits_type::eof()) return traits_type::eof();
+    return c;
+  }
+
+  int sync() override {
+    const int ra = a_->pubsync();
+    const int rb = b_->pubsync();
+    return ra == 0 && rb == 0 ? 0 : -1;
+  }
+
+ private:
+  std::streambuf* a_;
+  std::streambuf* b_;
+};
+
+/// Shrink the recorded failing trace and drop a repro next to where
+/// fuzzing drops its own; the oracle is the lenient
+/// replay-with-invariants the repro replays under
+/// (`dash_lab replay --trace <repro> --lenient --invariants`).
+std::string drop_invariant_repro(const std::string& trace_text,
+                                 const std::string& violation,
+                                 const std::string& dir) {
+  Trace recorded;
+  {
+    std::istringstream in(trace_text);
+    recorded = load_trace(in);
+  }
+  const TraceOracle oracle = [](const Trace& candidate) {
+    ReplayOptions o;
+    o.lenient = true;
+    o.check_invariants = true;
+    o.verify = false;
+    try {
+      return !play_trace(candidate, o).violation.empty();
+    } catch (const TraceError&) {
+      return false;
+    }
+  };
+  Trace to_write;
+  try {
+    to_write = shrink_trace(recorded, oracle);
+  } catch (const TraceError&) {
+    // The live violation did not reproduce under lenient replay (an
+    // observer the replay does not re-register, say): keep the full
+    // recording -- a non-minimal repro beats none.
+    to_write = std::move(recorded);
+  }
+  return write_repro(to_write, "invariant violation: " + violation, dir);
+}
+
+}  // namespace
 
 std::uint64_t event_digest(const TraceEvent& e, const api::Network& net) {
   std::uint64_t h = kDigestSeed;
@@ -118,12 +187,30 @@ api::Metrics record_scenario(const RecordConfig& cfg, dash::util::Rng& rng,
   DASH_CHECK_MSG(static_cast<bool>(cfg.make_graph),
                  "record_scenario needs make_graph");
   DASH_CHECK_MSG(!cfg.scenario.empty(), "record_scenario needs a scenario");
+  if (cfg.repro_path != nullptr) cfg.repro_path->clear();
+
+  // With the battery on, tee the trace into memory as well: a
+  // violation shrinks the copy into a repro without re-running.
+  std::ostringstream copy;
+  TeeBuf tee(out.rdbuf(), copy.rdbuf());
+  std::ostream tee_stream(&tee);
+  std::ostream& trace_out = cfg.invariants ? tee_stream : out;
+
   graph::Graph g = cfg.make_graph(rng);
   api::Network net(std::move(g), core::make_strategy(cfg.healer), rng);
-  RecorderSink recorder(out, cfg.healer, cfg.scenario.spec(), cfg.seed);
+  RecorderSink recorder(trace_out, cfg.healer, cfg.scenario.spec(),
+                        cfg.seed);
   net.add_observer(&recorder);
+  api::InvariantObserver battery;
+  if (cfg.invariants) net.add_observer(&battery);
   if (cfg.configure) cfg.configure(net);
-  return net.play(cfg.scenario, rng);
+  const api::Metrics m = net.play(cfg.scenario, rng);
+  if (cfg.invariants && !m.violation.empty()) {
+    const std::string path =
+        drop_invariant_repro(copy.str(), m.violation, cfg.repro);
+    if (cfg.repro_path != nullptr) *cfg.repro_path = path;
+  }
+  return m;
 }
 
 api::Metrics record_scenario(const RecordConfig& cfg, std::ostream& out) {

@@ -80,6 +80,16 @@ struct RecordConfig {
   /// Extra per-run observers (a StretchObserver, an InvariantObserver,
   /// a SinkObserver...), registered after the recorder.
   std::function<void(api::Network&)> configure;
+  /// Attach the invariant battery (api::InvariantObserver) to the
+  /// recorded run. When the play reports a violation, the just-recorded
+  /// trace is shrunk to a minimal failing sub-trace (shrink.h, lenient
+  /// replay-with-invariants oracle) and dropped via write_repro --
+  /// under `repro` when set, else $DASH_REPRO_DIR, else ./dash_repro.
+  bool invariants = false;
+  std::string repro;
+  /// When non-null, receives the automatic repro's path (cleared when
+  /// the run was violation-free).
+  std::string* repro_path = nullptr;
 };
 
 /// Execute cfg.scenario with recording: graph generation, healing-state

@@ -1,0 +1,99 @@
+#include "replay/trace_phase.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "api/network.h"
+
+namespace dash::replay {
+
+namespace {
+
+/// Alive members of `nodes` on the live graph, deduplicated, original
+/// order kept -- the same filter play_trace applies in lenient mode.
+std::vector<graph::NodeId> alive_subset(
+    const graph::Graph& g, const std::vector<graph::NodeId>& nodes) {
+  std::vector<graph::NodeId> out;
+  out.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    if (v < g.num_nodes() && g.alive(v) &&
+        std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TracePhase::TracePhase(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    throw std::invalid_argument(
+        "bad trace phase: 'trace:' needs a file path (trace:<file>)");
+  }
+  try {
+    trace_ = std::make_shared<const Trace>(load_trace_file(path_));
+  } catch (const TraceError& e) {
+    throw std::invalid_argument("bad trace phase 'trace:" + path_ +
+                                "': " + e.what());
+  }
+}
+
+void TracePhase::execute(api::PlayContext& ctx) const {
+  for (const TraceEvent& e : trace_->events) {
+    if (ctx.stopped()) return;
+    switch (e.kind) {
+      case EventKind::kPhase:
+        ctx.net.notify_phase(e.phase);
+        break;
+      case EventKind::kRemove: {
+        if (ctx.net.graph().num_alive() <= ctx.floor) return;
+        const graph::NodeId v =
+            e.nodes.empty() ? graph::kInvalidNode : e.nodes.front();
+        if (v >= ctx.net.graph().num_nodes() || !ctx.net.graph().alive(v)) {
+          break;  // recorded victim does not exist here: skip
+        }
+        ctx.net.remove(v);
+        break;
+      }
+      case EventKind::kBatch: {
+        const auto batch = alive_subset(ctx.net.graph(), e.nodes);
+        // The whole batch must fit above the deletion floor -- the
+        // same rule the batch phase applies.
+        if (batch.empty() ||
+            ctx.net.graph().num_alive() < batch.size() + ctx.floor) {
+          break;
+        }
+        ctx.net.remove_batch(batch);
+        break;
+      }
+      case EventKind::kJoin: {
+        const auto attach = alive_subset(ctx.net.graph(), e.nodes);
+        if (attach.empty()) break;  // nobody left to attach to: skip
+        ctx.net.join(attach);
+        break;
+      }
+    }
+  }
+}
+
+std::unique_ptr<api::ScenarioPhase> TracePhase::clone() const {
+  auto copy = std::make_unique<TracePhase>(*this);
+  return copy;
+}
+
+namespace detail {
+
+void register_trace_phase(util::Registry<api::ScenarioPhase>* r) {
+  r->add(
+      "trace",
+      [](const std::string& param) -> std::unique_ptr<api::ScenarioPhase> {
+        return std::make_unique<TracePhase>(param);
+      },
+      {}, "trace:<file>");
+}
+
+}  // namespace detail
+
+}  // namespace dash::replay

@@ -1,0 +1,56 @@
+// trace_phase.h -- recorded traces as first-class scenario phases.
+//
+// `trace:<file>` in a scenario spec loads a replay trace (trace.h) at
+// parse time and replays its event stream against whatever network the
+// scenario is driving -- which is rarely the network the trace was
+// recorded on. Application is therefore *lenient*, exactly like
+// `play_trace` with lenient on: dead or out-of-range node ids are
+// filtered per event, empty events are skipped, and nothing is
+// digest-verified. The phase honours the play context like any other
+// phase: it stops at the deletion floor and when the play-level stop
+// condition fires. Phase markers inside the trace are forwarded as
+// nested phase notifications.
+//
+// This is what lets a shrunken fuzz repro or a captured workload ride
+// an experiment grid: `--scenario "trace:repro.jsonl"` sweeps the
+// recorded event pattern across every (family, n, healer) cell.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/scenario.h"
+#include "replay/trace.h"
+
+namespace dash::replay {
+
+class TracePhase final : public api::ScenarioPhase {
+ public:
+  /// Loads and validates the trace. Throws std::invalid_argument
+  /// (wrapping the TraceError text) when the file is missing, corrupt,
+  /// or a foreign format version -- at parse time, so a bad path fails
+  /// spec validation instead of a worker mid-grid.
+  explicit TracePhase(std::string path);
+
+  std::string spec() const override { return "trace:" + path_; }
+  void execute(api::PlayContext& ctx) const override;
+  std::unique_ptr<api::ScenarioPhase> clone() const override;
+
+  const Trace& trace() const { return *trace_; }
+
+ private:
+  std::string path_;
+  /// Shared: clones of the phase (Scenario copies, grid fan-out)
+  /// reference one immutable loaded trace instead of re-reading it.
+  std::shared_ptr<const Trace> trace_;
+};
+
+namespace detail {
+/// Registers the "trace" spelling in the scenario phase registry;
+/// called by the registry builder itself (api/scenario.cpp) so the
+/// spelling exists wherever the registry does, static-lib linking
+/// notwithstanding.
+void register_trace_phase(util::Registry<api::ScenarioPhase>* r);
+}  // namespace detail
+
+}  // namespace dash::replay

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -154,6 +155,39 @@ TEST(Runner, RejectsBadShardOptions) {
   EXPECT_THROW(run(spec, opt), std::invalid_argument);
   opt.shard = {2, 2};
   EXPECT_THROW(run(spec, opt), std::invalid_argument);
+}
+
+TEST(Runner, RunCellReproducesEveryRunnerCellIncludingRows) {
+  // run_cell is the fleet layer's work-stealing quantum: one cell,
+  // computed in isolation, must yield the exact group bytes and row
+  // series the same cell gets inside a full run().
+  const auto spec = tiny_spec();
+  RunnerOptions opt;
+  opt.threads = 1;
+  std::map<std::size_t, std::vector<std::string>> run_rows;
+  opt.on_rows = [&](const Cell& cell,
+                    const std::vector<api::RoundRow>& rows) {
+    for (const api::RoundRow& row : rows) {
+      run_rows[cell.index].push_back(rows_line(cell.index, row));
+    }
+  };
+  const auto results = run(spec, opt);
+  ASSERT_EQ(results.size(), spec.enumerate().size());
+
+  for (const CellResult& expected : results) {
+    std::vector<std::string> cell_rows;
+    const CellResult single = run_cell(
+        spec, expected.cell, nullptr,
+        [&](const Cell& cell, const std::vector<api::RoundRow>& rows) {
+          for (const api::RoundRow& row : rows) {
+            cell_rows.push_back(rows_line(cell.index, row));
+          }
+        });
+    EXPECT_EQ(single.cell.index, expected.cell.index);
+    EXPECT_EQ(single.group_json, expected.group_json);
+    EXPECT_EQ(single.runs.size(), expected.runs.size());
+    EXPECT_EQ(cell_rows, run_rows[expected.cell.index]);
+  }
 }
 
 // ---- record serialization --------------------------------------------------

@@ -1,0 +1,88 @@
+// Tests for the recorder's auto-repro path: recording with the
+// invariant battery on must, when a violation fires, shrink the live
+// trace and drop a standalone repro -- without perturbing the recorded
+// trace bytes on the happy path.
+#include "replay/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "api/scenario.h"
+#include "exp/spec.h"
+#include "replay/play.h"
+#include "replay/trace.h"
+
+namespace dash::replay {
+namespace {
+
+RecordConfig base_config(const std::string& healer,
+                         const std::string& scenario) {
+  RecordConfig cfg;
+  cfg.make_graph = exp::make_family("ba", 32, 2);
+  cfg.scenario = api::Scenario::parse(scenario);
+  cfg.healer = healer;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(AutoRepro, ViolationShrinksAndPersistsAStandaloneRepro) {
+  // Healing off under the paper's churn workload: the connectivity
+  // invariant must fire mid-recording.
+  RecordConfig cfg = base_config("none", "paper-churn");
+  cfg.invariants = true;
+  const std::string dir = ::testing::TempDir() + "dash_auto_repro";
+  std::filesystem::remove_all(dir);
+  cfg.repro = dir;
+  std::string repro_path;
+  cfg.repro_path = &repro_path;
+
+  std::ostringstream os;
+  const api::Metrics m = record_scenario(cfg, os);
+  ASSERT_FALSE(m.violation.empty());
+  ASSERT_FALSE(repro_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(repro_path));
+
+  // The full recording still reached the caller's stream, intact.
+  std::istringstream in(os.str());
+  const Trace recorded = load_trace(in);
+  EXPECT_TRUE(recorded.complete());
+
+  // The repro is standalone and no larger than the recording: loading
+  // it and replaying under the documented options (lenient, battery
+  // on) reproduces a violation.
+  const Trace repro = load_trace_file(repro_path);
+  EXPECT_EQ(repro.healer, "none");
+  EXPECT_LE(repro.events.size(), recorded.events.size());
+  ReplayOptions ropt;
+  ropt.lenient = true;
+  ropt.check_invariants = true;
+  EXPECT_FALSE(play_trace(repro, ropt).ok());
+}
+
+TEST(AutoRepro, CleanRunLeavesNoReproAndIdenticalTraceBytes) {
+  const std::string dir = ::testing::TempDir() + "dash_auto_repro_clean";
+  std::filesystem::remove_all(dir);
+
+  // Same run recorded twice: once plain, once through the battery tee.
+  std::ostringstream plain;
+  record_scenario(base_config("dash", "paper-churn"), plain);
+
+  RecordConfig cfg = base_config("dash", "paper-churn");
+  cfg.invariants = true;
+  cfg.repro = dir;
+  std::string repro_path = "poisoned";  // must be cleared by the call
+  cfg.repro_path = &repro_path;
+  std::ostringstream teed;
+  const api::Metrics m = record_scenario(cfg, teed);
+
+  EXPECT_TRUE(m.violation.empty());
+  EXPECT_TRUE(repro_path.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir));
+  EXPECT_EQ(teed.str(), plain.str());
+}
+
+}  // namespace
+}  // namespace dash::replay

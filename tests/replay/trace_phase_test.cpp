@@ -1,0 +1,120 @@
+// Tests for `trace:<file>` as a first-class scenario phase: a recorded
+// trace loads at parse time, rides scenario specs (round trip, grids,
+// floor semantics) and replays leniently against networks it was never
+// recorded on.
+#include "replay/trace_phase.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "api/api.h"
+#include "api/scenario.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "replay/recorder.h"
+#include "replay/trace.h"
+#include "util/rng.h"
+
+namespace dash::replay {
+namespace {
+
+/// Record `scenario` on a ba-32 under `healer` and persist the trace.
+std::string record_to_file(const std::string& tag,
+                           const std::string& scenario,
+                           const std::string& healer = "dash") {
+  RecordConfig cfg;
+  cfg.make_graph = exp::make_family("ba", 32, 2);
+  cfg.scenario = api::Scenario::parse(scenario);
+  cfg.healer = healer;
+  cfg.seed = 7;
+  const std::string path =
+      ::testing::TempDir() + "trace_phase_" + tag + ".jsonl";
+  std::ofstream out(path);
+  record_scenario(cfg, out);
+  return path;
+}
+
+graph::Graph fresh_graph(std::size_t n, std::uint64_t seed) {
+  dash::util::Rng rng(seed);
+  return exp::make_family("ba", n, 2)(rng);
+}
+
+TEST(TracePhase, SpecRoundTripsAndLoadsAtParseTime) {
+  const std::string path = record_to_file("roundtrip", "paper-churn");
+  const std::string spec = "trace:" + path;
+  const auto sc = api::Scenario::parse(spec);
+  EXPECT_EQ(sc.spec(), spec);
+  EXPECT_EQ(api::Scenario::parse(sc.spec()).spec(), spec);
+
+  const TracePhase phase(path);
+  EXPECT_EQ(phase.spec(), spec);
+  EXPECT_FALSE(phase.trace().events.empty());
+}
+
+TEST(TracePhase, BadFilesFailAtParseTimeNotMidRun) {
+  EXPECT_THROW(api::Scenario::parse("trace:/nope/missing.jsonl"),
+               std::invalid_argument);
+  EXPECT_THROW(api::Scenario::parse("trace:"), std::invalid_argument);
+
+  const std::string garbage = ::testing::TempDir() + "trace_garbage.jsonl";
+  {
+    std::ofstream out(garbage);
+    out << "this is not a trace\n";
+  }
+  EXPECT_THROW(api::Scenario::parse("trace:" + garbage),
+               std::invalid_argument);
+}
+
+TEST(TracePhase, UnknownPhaseErrorAdvertisesTheTraceSpelling) {
+  try {
+    api::Scenario::parse("shake:3");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trace"), std::string::npos);
+  }
+}
+
+TEST(TracePhase, ReplaysLenientlyOnAForeignNetwork) {
+  // Recorded on ba-32, replayed on ba-48: out-of-range and dead ids
+  // are filtered per event, everything else drives the healer.
+  const std::string path = record_to_file("foreign", "paper-churn");
+  api::Network net(fresh_graph(48, 99), "dash", 99);
+  const api::Metrics m = net.play(api::Scenario::parse("trace:" + path), 99);
+  EXPECT_GT(m.deletions, 0u);
+  EXPECT_GT(m.joins, 0u);
+  EXPECT_TRUE(m.violation.empty());
+}
+
+TEST(TracePhase, HonoursTheDeletionFloor) {
+  // A deletion-only trace (targeted strikes down to 8 alive). Replayed
+  // behind floor:20, its removals must stop exactly at the floor.
+  const std::string path =
+      record_to_file("floored", "floor:8;targeted:maxnode");
+  api::Network net(fresh_graph(32, 5), "dash", 5);
+  net.play(api::Scenario::parse("floor:20;trace:" + path), 5);
+  EXPECT_EQ(net.graph().num_alive(), 20u);
+}
+
+TEST(TracePhase, RidesAnExperimentGridCell) {
+  // The point of the feature: a captured workload swept across a grid.
+  const std::string path = record_to_file("grid", "paper-churn");
+  const auto spec = exp::ExperimentSpec::parse_line(
+      "name=riding n=16|24 healer=dash scenario=trace:" + path +
+      " instances=1 seed=3");
+  exp::RunnerOptions opt;
+  opt.threads = 1;
+  const auto results = exp::run(spec, opt);
+  ASSERT_EQ(results.size(), 2u);
+  std::vector<exp::ShardRecord> records;
+  for (const auto& r : results) records.push_back(exp::to_record(spec, r));
+  EXPECT_NE(exp::merged_document(spec, records).find("\"runs\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dash::replay

@@ -28,6 +28,21 @@
 //
 // and --chaos kill:<cell> / torn:<cell> on run arms the exp layer's
 // crash-fault injector (DASH_CHAOS) so resume paths stay honest.
+//
+// The fleet verbs run a grid as a coordinator/agent service with a
+// work-stealing cell queue (src/fleet/):
+//
+//   dash_lab serve --spec sweep.spec --agents 3 --json BENCH_sweep.json
+//   dash_lab serve --spec sweep.spec --listen tcp:4815   # external agents
+//   dash_lab agent --connect tcp:host:4815 --spec sweep.spec
+//   dash_lab status --connect tcp:host:4815
+//
+// Agents claim one cell at a time, heartbeat while it computes, and
+// stream rows + the cell's shard record back; a killed or silent agent
+// forfeits its lease and the cell is reassigned, with the final merged
+// document still byte-identical to a sequential run. The coordinator's
+// state dir doubles as a resume manifest (serve --resume).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +51,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -44,6 +60,9 @@
 #include "exp/orchestrator.h"
 #include "exp/runner.h"
 #include "exp/spec.h"
+#include "fleet/agent.h"
+#include "fleet/channel.h"
+#include "fleet/coordinator.h"
 #include "replay/fuzz.h"
 #include "replay/play.h"
 #include "replay/recorder.h"
@@ -84,14 +103,23 @@ struct LabOptions {
   std::string healers;                   ///< --healers a,b,c (fuzz)
   std::string repro_dir;                 ///< --repro-dir (fuzz)
   bool lenient = false;                  ///< --lenient (replay)
-  bool invariants = false;               ///< --invariants (replay)
+  bool invariants = false;               ///< --invariants (replay/record)
   bool no_shrink = false;                ///< --no-shrink (fuzz)
+  // fleet (serve/agent/status)
+  std::string listen;                    ///< serve --listen endpoint
+  std::string connect;                   ///< agent/status --connect
+  std::string state_dir = "dash_fleet";  ///< serve --state-dir
+  std::string name;                      ///< agent --name
+  std::uint64_t agents = 0;              ///< serve --agents (local)
+  std::uint64_t lease_ms = 10000;        ///< serve --lease-ms
+  std::uint64_t stop_after = 0;          ///< serve --stop-after
 };
 
 int usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: dash_lab <run|merge|list-cells|record|replay|fuzz> "
+      "usage: dash_lab "
+      "<run|merge|list-cells|serve|agent|status|record|replay|fuzz> "
       "[options]\n"
       "\n"
       "subcommands:\n"
@@ -101,6 +129,14 @@ int usage(std::FILE* to) {
       "  merge       reassemble shard record files (--inputs a,b,...)\n"
       "              into the single BENCH_*.json document\n"
       "  list-cells  print the grid's deterministic cell enumeration\n"
+      "  serve       coordinate the grid as a fleet: lease cells to\n"
+      "              agents one at a time (work stealing), reassign on\n"
+      "              death/silence, merge byte-identically; --agents N\n"
+      "              spawns local agent processes, --resume restarts\n"
+      "              from the state dir's manifest\n"
+      "  agent       attach to a coordinator (--connect) and claim\n"
+      "              cells until it says shutdown\n"
+      "  status      print a serving coordinator's live progress\n"
       "  record      play one scenario, capturing every event as a\n"
       "              replayable trace (--trace FILE)\n"
       "  replay      re-execute a trace bit-identically, or leniently\n"
@@ -402,6 +438,148 @@ int cmd_merge(const LabOptions& opt) {
   return 0;
 }
 
+// ---- fleet verbs -----------------------------------------------------------
+
+int cmd_serve(const LabOptions& opt, const char* argv0) {
+  const ExperimentSpec spec = load_spec(opt);
+  if (!opt.chaos.empty()) {
+    if (opt.agents == 0) {
+      throw std::invalid_argument(
+          "serve --chaos needs --agents (it arms the first local agent)");
+    }
+    dash::exp::parse_chaos(opt.chaos);  // validate before spawning
+  }
+  dash::fleet::CoordinatorOptions copt;
+  copt.listen = opt.listen;
+  copt.state_dir = opt.state_dir;
+  copt.resume = opt.resume;
+  copt.rows = !opt.rows.empty();
+  copt.lease_ms = static_cast<std::size_t>(opt.lease_ms);
+  copt.stop_after = static_cast<std::size_t>(opt.stop_after);
+  if (opt.quiet) copt.progress = [](const std::string&) {};
+  dash::fleet::Coordinator coordinator(spec, copt);
+  const std::string endpoint = coordinator.endpoint().spec();
+  if (!opt.quiet) {
+    std::fprintf(stderr, "fleet: listening at %s\n", endpoint.c_str());
+  }
+
+  // Local agents, orchestrate-style (fork + exec of this binary). Any
+  // chaos plan arms agent 0 *only*: agents inheriting the same plan
+  // would all die at the reassigned cell, forever.
+  std::vector<pid_t> pids;
+  if (opt.agents > 0) {
+    std::size_t agent_threads = static_cast<std::size_t>(opt.threads);
+    if (agent_threads == 0) {
+      agent_threads = std::max<std::size_t>(
+          1, std::thread::hardware_concurrency() /
+                 static_cast<std::size_t>(opt.agents));
+    }
+    const std::string exe = dash::exp::current_executable(argv0);
+    for (std::uint64_t i = 0; i < opt.agents; ++i) {
+      std::vector<std::string> args{"agent", "--connect", endpoint,
+                                    "--name",
+                                    "agent-" + std::to_string(i)};
+      if (opt.spec_path.empty()) {
+        args.push_back("--grid");
+        args.push_back(opt.grid);
+      } else {
+        args.push_back("--spec");
+        args.push_back(opt.spec_path);
+      }
+      args.push_back("--threads");
+      args.push_back(std::to_string(agent_threads));
+      if (opt.quiet) args.push_back("--quiet");
+      if (i == 0 && !opt.chaos.empty()) {
+        args.push_back("--chaos");
+        args.push_back(opt.chaos);
+      }
+      pids.push_back(dash::exp::spawn_process(exe, args));
+    }
+  }
+
+  const dash::fleet::FleetReport report = coordinator.run();
+
+  // Reap local agents; their fates are informational (a chaos-killed
+  // agent is the point of the exercise) -- grid completion is what
+  // this process's exit code stands for.
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const dash::exp::WorkerStatus ws = dash::exp::wait_process(pids[i]);
+    if (!opt.quiet && !ws.ok()) {
+      std::string fate;
+      if (ws.exited) {
+        fate = "exit " + std::to_string(ws.exit_code);
+      } else if (ws.signaled) {
+        fate = "killed by signal " + std::to_string(ws.signal_no);
+      } else {
+        fate = "wait failed";
+      }
+      std::fprintf(stderr, "fleet: agent-%zu %s\n", i, fate.c_str());
+    }
+  }
+
+  if (!opt.quiet) {
+    std::fprintf(stderr, "%s\n",
+                 dash::fleet::render_status(report).c_str());
+  }
+  if (!report.complete) {
+    std::fprintf(stderr,
+                 "fleet: checkpoint at %zu/%zu cells in %s; rerun with "
+                 "--resume to finish\n",
+                 report.done, report.cells, opt.state_dir.c_str());
+    return 3;
+  }
+  if (!opt.rows.empty()) {
+    std::ofstream rows_out(opt.rows, std::ios::trunc);
+    if (!rows_out) {
+      throw std::runtime_error("cannot open --rows path '" + opt.rows +
+                               "'");
+    }
+    rows_out << report.rows_csv;
+    if (!opt.quiet) {
+      std::fprintf(stderr, "merged rows written to %s\n",
+                   opt.rows.c_str());
+    }
+  }
+  emit_document(opt, report.document);
+  return 0;
+}
+
+int cmd_agent(const LabOptions& opt) {
+  if (opt.connect.empty()) {
+    throw std::invalid_argument("agent needs --connect <endpoint>");
+  }
+  const ExperimentSpec spec = load_spec(opt);
+  dash::fleet::AgentOptions aopt;
+  aopt.connect = opt.connect;
+  aopt.name = opt.name;
+  aopt.threads = static_cast<std::size_t>(opt.threads);
+  if (!opt.chaos.empty()) aopt.chaos = dash::exp::parse_chaos(opt.chaos);
+  if (opt.quiet) aopt.progress = [](const std::string&) {};
+  const dash::fleet::AgentReport report = dash::fleet::run_agent(spec, aopt);
+  if (!opt.quiet) {
+    std::fprintf(stderr, "agent: %zu cells done (%s)\n", report.cells_done,
+                 report.shutdown_reason.c_str());
+  }
+  return 0;
+}
+
+int cmd_status(const LabOptions& opt) {
+  if (opt.connect.empty()) {
+    throw std::invalid_argument("status needs --connect <endpoint>");
+  }
+  dash::fleet::Channel ch = dash::fleet::connect_channel(
+      dash::fleet::Endpoint::parse(opt.connect));
+  if (!ch.send(dash::fleet::make_status())) {
+    throw std::runtime_error("coordinator closed the connection");
+  }
+  const auto reply = ch.recv();
+  if (!reply || reply->type != dash::fleet::MessageType::kReport) {
+    throw std::runtime_error("no status report from the coordinator");
+  }
+  std::printf("%s\n", reply->text.c_str());
+  return 0;
+}
+
 // ---- replay verbs ----------------------------------------------------------
 
 int cmd_record(const LabOptions& opt) {
@@ -415,6 +593,10 @@ int cmd_record(const LabOptions& opt) {
   cfg.healer = opt.healer.empty() ? "dash" : opt.healer;
   cfg.scenario = dash::api::Scenario::parse(opt.scenario);
   cfg.seed = opt.seed;
+  std::string repro;
+  cfg.invariants = opt.invariants;
+  cfg.repro = opt.repro_dir;
+  cfg.repro_path = &repro;
   std::ofstream out(opt.trace, std::ios::trunc);
   if (!out) {
     throw std::runtime_error("cannot open --trace path '" + opt.trace +
@@ -429,6 +611,11 @@ int cmd_record(const LabOptions& opt) {
                  cfg.scenario.spec().c_str(),
                  static_cast<unsigned long long>(opt.seed), m.deletions,
                  m.joins);
+  }
+  if (opt.invariants && !m.violation.empty()) {
+    std::fprintf(stderr, "invariant violation: %s\n  repro: %s\n",
+                 m.violation.c_str(), repro.c_str());
+    return 1;
   }
   return 0;
 }
@@ -492,7 +679,9 @@ int main(int argc, char** argv) {
       cmd == "run" || cmd == "merge" || cmd == "list-cells";
   const bool trace_cmd =
       cmd == "record" || cmd == "replay" || cmd == "fuzz";
-  if (!grid_cmd && !trace_cmd) {
+  const bool fleet_cmd =
+      cmd == "serve" || cmd == "agent" || cmd == "status";
+  if (!grid_cmd && !trace_cmd && !fleet_cmd) {
     std::fprintf(stderr, "dash_lab: unknown subcommand '%s'\n\n",
                  cmd.c_str());
     return usage(stderr);
@@ -502,7 +691,7 @@ int main(int argc, char** argv) {
   dash::util::Options opt("dash_lab " + cmd +
                           " -- experiment grids, sharded execution, "
                           "byte-stable merges and trace replay");
-  if (grid_cmd) {
+  if (grid_cmd || cmd == "serve" || cmd == "agent") {
     opt.add_string("spec", &lab.spec_path, "experiment spec file");
     opt.add_string("grid", &lab.grid,
                    "one-line spec, e.g. 'n=64|128 healer=dash|sdash "
@@ -537,6 +726,48 @@ int main(int argc, char** argv) {
     opt.add_string("rows", &lab.rows,
                    "write the merged rows CSV here (with --rows-inputs)");
   }
+  if (cmd == "serve") {
+    opt.add_string("listen", &lab.listen,
+                   "endpoint to serve at: unix:<path> or tcp:[host:]port "
+                   "(port 0 = ephemeral; default "
+                   "unix:<state-dir>/fleet.sock)");
+    opt.add_string("state-dir", &lab.state_dir,
+                   "spool + resume-manifest directory");
+    opt.add_uint("agents", &lab.agents,
+                 "spawn N local agent processes (0 = external agents "
+                 "connect on their own)");
+    opt.add_uint("lease-ms", &lab.lease_ms,
+                 "reassign an agent's cell after this long without a "
+                 "frame from it");
+    opt.add_uint("stop-after", &lab.stop_after,
+                 "checkpoint and exit (code 3) after N newly committed "
+                 "cells (restart-resume testing)");
+    opt.add_flag("resume", &lab.resume,
+                 "skip cells already in the state dir's manifest");
+    opt.add_uint("threads", &lab.threads,
+                 "suite threads per spawned agent (0 = hardware "
+                 "concurrency split between them)");
+    opt.add_string("rows", &lab.rows,
+                   "collect per-round rows and write the canonical CSV "
+                   "here");
+    opt.add_string("chaos", &lab.chaos,
+                   "arm kill:<cell> / torn:<cell> on the first spawned "
+                   "agent (requires --agents)");
+  }
+  if (cmd == "agent" || cmd == "status") {
+    opt.add_string("connect", &lab.connect,
+                   "coordinator endpoint (unix:<path> or tcp:host:port)");
+  }
+  if (cmd == "agent") {
+    opt.add_string("name", &lab.name,
+                   "display name in coordinator logs (default "
+                   "agent-<pid>)");
+    opt.add_uint("threads", &lab.threads,
+                 "suite threads per cell (0 = hardware, 1 = sequential)");
+    opt.add_string("chaos", &lab.chaos,
+                   "die at kill:<cell> / torn:<cell> (fault-injection "
+                   "tests)");
+  }
   if (trace_cmd) {
     opt.add_string("trace", &lab.trace, "the trace file (required)");
   }
@@ -549,6 +780,13 @@ int main(int argc, char** argv) {
                    "healer registry spec (default dash)");
     opt.add_string("scenario", &lab.scenario, "scenario spec");
     opt.add_uint("seed", &lab.seed, "run seed");
+    opt.add_flag("invariants", &lab.invariants,
+                 "run the invariant battery during the recording; a "
+                 "violation shrinks the trace into an automatic repro "
+                 "(exit 1)");
+    opt.add_string("repro-dir", &lab.repro_dir,
+                   "automatic repro directory (default $DASH_REPRO_DIR, "
+                   "else dash_repro)");
   }
   if (cmd == "replay") {
     opt.add_string("healer", &lab.healer,
@@ -573,7 +811,7 @@ int main(int argc, char** argv) {
     opt.add_flag("no-shrink", &lab.no_shrink,
                  "keep failing mutants unshrunk (no repro files)");
   }
-  if (cmd == "run" || cmd == "merge") {
+  if (cmd == "run" || cmd == "merge" || cmd == "serve") {
     opt.add_string("json", &lab.json,
                    "write the merged BENCH_*.json here (default: stdout "
                    "for whole-grid runs)");
@@ -592,6 +830,9 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list-cells") return cmd_list_cells(lab);
     if (cmd == "merge") return cmd_merge(lab);
+    if (cmd == "serve") return cmd_serve(lab, argv[0]);
+    if (cmd == "agent") return cmd_agent(lab);
+    if (cmd == "status") return cmd_status(lab);
     if (cmd == "record") return cmd_record(lab);
     if (cmd == "replay") return cmd_replay(lab);
     if (cmd == "fuzz") return cmd_fuzz(lab);
