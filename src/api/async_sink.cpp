@@ -1,0 +1,126 @@
+#include "api/async_sink.h"
+
+#include <utility>
+
+namespace dash::api {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// Wakeup correctness: the waiter flags (consumer_waiting_,
+// producer_waiting_) are stored seq_cst *before* the waiter evaluates
+// its predicate, and the signaller publishes its cursor seq_cst
+// *before* loading the flag. In the seq_cst total order one of the two
+// must see the other: either the signaller sees the flag (and takes
+// the mutex to notify -- which serializes with the waiter's
+// predicate-evaluation-under-lock), or the waiter's predicate sees the
+// fresh cursor and never sleeps. Either way no wakeup is lost, and the
+// steady-state fast path costs no mutex at all.
+
+AsyncSink::AsyncSink(MetricSink& inner, std::size_t capacity)
+    : inner_(inner), ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {
+  drain_ = std::thread([this] { drain_loop(); });
+}
+
+AsyncSink::~AsyncSink() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_seq_cst);
+  }
+  not_empty_.notify_all();
+  drain_.join();
+}
+
+void AsyncSink::on_row(const RoundRow& row) {
+  Event ev;
+  ev.kind = Event::Kind::kRow;
+  ev.row = row;
+  push(std::move(ev));
+}
+
+void AsyncSink::on_run(std::size_t instance, const Metrics& m) {
+  Event ev;
+  ev.kind = Event::Kind::kRun;
+  ev.instance = instance;
+  ev.metrics = m;
+  push(std::move(ev));
+}
+
+void AsyncSink::push(Event ev) {
+  const std::size_t t = tail_.load(std::memory_order_relaxed);
+  if (t - head_.load(std::memory_order_acquire) == ring_.size()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_waiting_.store(true, std::memory_order_seq_cst);
+    not_full_.wait(lock, [&] {
+      return t - head_.load(std::memory_order_acquire) < ring_.size();
+    });
+    producer_waiting_.store(false, std::memory_order_relaxed);
+  }
+  ring_[t & mask_] = std::move(ev);
+  tail_.store(t + 1, std::memory_order_seq_cst);
+  const std::size_t depth = t + 1 - head_.load(std::memory_order_relaxed);
+  if (depth > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(depth, std::memory_order_relaxed);
+  }
+  if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    not_empty_.notify_one();
+  }
+}
+
+void AsyncSink::drain_loop() {
+  for (;;) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_waiting_.store(true, std::memory_order_seq_cst);
+      not_empty_.wait(lock, [&] {
+        return h != tail_.load(std::memory_order_seq_cst) ||
+               stop_.load(std::memory_order_acquire);
+      });
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+      if (stop_.load(std::memory_order_acquire) &&
+          h == tail_.load(std::memory_order_acquire)) {
+        return;
+      }
+      continue;
+    }
+    Event ev = std::move(ring_[h & mask_]);
+    // Deliver outside any lock: sink I/O must never serialize against
+    // the producer's push path.
+    if (ev.kind == Event::Kind::kRow) {
+      inner_.on_row(ev.row);
+    } else {
+      inner_.on_run(ev.instance, ev.metrics);
+    }
+    head_.store(h + 1, std::memory_order_seq_cst);
+    if (producer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+    if (h + 1 == tail_.load(std::memory_order_acquire)) {
+      // Queue just went empty: wake any flush() barrier.
+      std::lock_guard<std::mutex> lock(mu_);
+      drained_.notify_all();
+    }
+  }
+}
+
+void AsyncSink::flush() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [&] { return empty_relaxed(); });
+  }
+  // The drain thread is idle (nothing left to pop, and deliveries
+  // complete before head_ advances), so forwarding here cannot race.
+  inner_.flush();
+}
+
+}  // namespace dash::api

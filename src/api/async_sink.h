@@ -1,0 +1,92 @@
+// async_sink.h -- the async half of the observer pipeline: a MetricSink
+// decorator that moves sink I/O (CSV writes, JSON accumulation) off the
+// mutation thread onto a dedicated drain thread, connected by a bounded
+// single-producer/single-consumer ring.
+//
+// Semantics:
+//   * Order-preserving and lossless: the inner sink sees exactly the
+//     event sequence the producer emitted, so wrapping any sink in
+//     AsyncSink leaves its output byte-identical to the synchronous
+//     path -- the batch byte-identity guarantees survive.
+//   * The producer blocks only when the ring is full (size it for the
+//     burstiness of the workload; default 1024 events). Steady-state
+//     pushes are two atomic ops plus a wakeup check -- the mutation
+//     thread never waits for the sink's I/O.
+//   * flush() is a barrier: it waits for the drain thread to deliver
+//     everything, then forwards flush() to the inner sink on the
+//     calling thread (the drain thread is provably idle at that point).
+//   * Single producer: on_row/on_run/flush must come from one thread at
+//     a time -- exactly the engine/suite emission contract MetricSink
+//     already has.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/sink.h"
+
+namespace dash::api {
+
+class AsyncSink final : public MetricSink {
+ public:
+  /// Wrap `inner` (not owned; must outlive this sink). `capacity` is
+  /// rounded up to a power of two.
+  explicit AsyncSink(MetricSink& inner, std::size_t capacity = 1024);
+  ~AsyncSink() override;  // drains outstanding events, then joins
+
+  std::string name() const override { return "async:" + inner_.name(); }
+  void on_row(const RoundRow& row) override;
+  void on_run(std::size_t instance, const Metrics& m) override;
+  void flush() override;
+
+  /// Deepest the ring ever got (diagnostics: a high-water mark at
+  /// capacity means the producer blocked).
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  struct Event {
+    enum class Kind { kRow, kRun } kind = Kind::kRow;
+    RoundRow row;
+    std::size_t instance = 0;
+    Metrics metrics;
+  };
+
+  void push(Event ev);
+  void drain_loop();
+  bool empty_relaxed() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  MetricSink& inner_;
+  std::vector<Event> ring_;
+  std::size_t mask_;
+
+  /// SPSC cursors: head_ is consumer-owned, tail_ producer-owned; each
+  /// side reads the other's cursor to detect empty/full.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> high_water_{0};
+  /// True while the consumer is parked in its cv wait; lets the
+  /// producer skip the mutex+notify on the steady-state fast path.
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> producer_waiting_{false};
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;   ///< consumer waits
+  std::condition_variable not_full_;    ///< producer waits (ring full)
+  std::condition_variable drained_;     ///< flush() waits
+  std::thread drain_;
+};
+
+}  // namespace dash::api

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "api/serve.h"
 #include "core/batch.h"
 #include "core/factory.h"
 #include "graph/traversal.h"
@@ -95,6 +96,18 @@ Network::Network(Graph& g, HealingState& state,
   initial_size_ = g_->num_alive();
   // Borrowed graphs may be mutated externally between events, which
   // would desync an incremental tracker: stay on the BFS path.
+}
+
+Network::~Network() = default;
+
+ServeHandle& Network::serve() { return serve(ServeOptions{}); }
+
+ServeHandle& Network::serve(const ServeOptions& opts) {
+  if (!serve_) {
+    serve_.reset(new ServeHandle(*this, opts));
+    add_observer(&serve_->publisher_);
+  }
+  return *serve_;
 }
 
 void Network::init_tracker() {

@@ -36,6 +36,8 @@ namespace dash::api {
 
 class Scenario;
 struct PlayOptions;
+class ServeHandle;
+struct ServeOptions;
 
 /// How the engine answers connectivity and component queries
 /// (RoundEvent::connected(), component_count(), largest_component(),
@@ -98,6 +100,7 @@ class Network {
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();  // out-of-line: ServeHandle is incomplete here
 
   // ---- observer pipeline --------------------------------------------
 
@@ -153,6 +156,21 @@ class Network {
   /// Snapshot metrics and give every observer its on_finish() chance to
   /// contribute (violation, stretch, ...). Idempotent; run() calls it.
   Metrics finish();
+
+  // ---- concurrent serving -------------------------------------------
+
+  /// Start (or fetch) the concurrent read path: an engine-owned
+  /// ServeHandle whose internal observer publishes an immutable
+  /// snapshot after every mutation event (cadence in ServeOptions), so
+  /// reader threads answer connected/distance/largest_component
+  /// queries lock-free from a pinned epoch while play()/run() mutate
+  /// the graph. Call before starting the scenario; options are fixed
+  /// by the first call. See api/serve.h.
+  ServeHandle& serve();
+  ServeHandle& serve(const ServeOptions& opts);
+
+  /// The serving engine, or nullptr when serve() was never called.
+  ServeHandle* serve_handle() { return serve_.get(); }
 
   /// Broadcast a scenario phase boundary (Observer::on_phase) to the
   /// pipeline. play() calls this before each phase executes; trace
@@ -238,6 +256,8 @@ class Network {
   /// flush its lazy re-scan without changing observable state.
   mutable std::optional<graph::DynamicConnectivity> tracker_;
   ConnectivityMode conn_mode_ = ConnectivityMode::kBfs;
+  /// The concurrent read path (api/serve.h); null until serve().
+  std::unique_ptr<ServeHandle> serve_;
 };
 
 }  // namespace dash::api

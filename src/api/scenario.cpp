@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -58,16 +59,16 @@ CountSplit split_count(const std::string& phase, const std::string& args) {
   return out;
 }
 
-/// Strict double in [0, 1] for churn rates.
+/// Strict double in [0, 1] for churn rates. std::from_chars, not
+/// std::stod: rate specs must parse the same under every process
+/// locale (stod honours LC_NUMERIC, so "0.3" fails and "0,3" parses
+/// under a comma-decimal locale).
 double parse_rate(const std::string& phase, const std::string& s) {
-  std::size_t used = 0;
   double v = 0.0;
-  try {
-    v = std::stod(s, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != s.size() || s.empty() || v < 0.0 || v > 1.0) {
+  const auto [end, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size() || s.empty() ||
+      v < 0.0 || v > 1.0) {
     throw std::invalid_argument("bad rate in scenario phase '" + phase +
                                 "': '" + s +
                                 "' (expected a number in [0, 1])");

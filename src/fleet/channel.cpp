@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -45,7 +46,11 @@ socklen_t fill_sockaddr(const Endpoint& ep, sockaddr_storage* storage) {
 
 int make_socket(const Endpoint& ep) {
   const int domain = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
-  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC: fleet sockets must not leak into spawned agents -- an
+  // inherited listener fd keeps a dead agent's peer "connected" (the
+  // kernel never delivers EOF while any copy is open), stalling lease
+  // reassignment until the whole process tree exits.
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) die("socket");
   if (ep.kind == Endpoint::Kind::kTcp) {
     const int one = 1;
@@ -82,14 +87,11 @@ Endpoint Endpoint::parse(const std::string& spec) {
       port_text = rest.substr(colon + 1);
     }
     if (out.host.empty()) out.host = "127.0.0.1";
-    std::size_t used = 0;
     unsigned long port = 0;
-    try {
-      port = std::stoul(port_text, &used);
-    } catch (const std::exception&) {
-      used = std::string::npos;
-    }
-    if (used != port_text.size() || port_text.empty() || port > 65535) {
+    const auto [end, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || end != port_text.data() + port_text.size() ||
+        port_text.empty() || port > 65535) {
       throw std::invalid_argument("bad tcp port in '" + spec +
                                   "' (expected tcp:[host:]port)");
     }
@@ -243,7 +245,10 @@ Listener::~Listener() {
 
 Channel Listener::accept() {
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    // accept4 so the accepted fd is CLOEXEC from birth -- a plain
+    // accept + fcntl leaves a window where a concurrently spawned
+    // agent inherits the connection.
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd >= 0) return Channel(fd);
     if (errno == EINTR) continue;
     die("accept on " + endpoint_.spec());

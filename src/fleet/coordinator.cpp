@@ -1,13 +1,15 @@
 #include "fleet/coordinator.h"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <deque>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -52,6 +54,59 @@ Endpoint resolve_listen(const CoordinatorOptions& o) {
       o.listen.empty() ? "unix:" + o.state_dir + "/fleet.sock" : o.listen);
 }
 
+/// Line-oriented spool writer over an O_CLOEXEC fd. std::ofstream
+/// exposes no descriptor, so it cannot set the flag -- and a spool fd
+/// inherited by a spawned agent keeps writing position shared across
+/// processes *and* holds the file open past coordinator restart, so
+/// the manifest a --resume reads could still be growing. Every line is
+/// a full write(2): each committed record is durable in the spool the
+/// moment commit() returns, which is the resume contract.
+class SpoolFile {
+ public:
+  SpoolFile() = default;
+  ~SpoolFile() { close(); }
+  SpoolFile(const SpoolFile&) = delete;
+  SpoolFile& operator=(const SpoolFile&) = delete;
+
+  void open(const std::string& path) {
+    close();
+    fd_ = ::open(path.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    ok_ = fd_ >= 0;
+  }
+
+  void write_line(const std::string& line) {
+    if (fd_ < 0) {
+      ok_ = false;
+      return;
+    }
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok_ = false;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  bool ok() const { return ok_; }
+  int fd() const { return fd_; }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  bool ok_ = true;
+};
+
 }  // namespace
 
 struct Coordinator::Impl {
@@ -74,8 +129,8 @@ struct Coordinator::Impl {
   std::map<std::size_t, std::string> done;  ///< cell -> group_json
   std::vector<exp::ShardRecord> records;
   std::vector<exp::RowsRecord> rows;
-  std::ofstream records_out;
-  std::ofstream rows_out;
+  SpoolFile records_out;
+  SpoolFile rows_out;
 
   FleetReport report;
   std::size_t session_committed = 0;     ///< excludes resumed cells
@@ -189,13 +244,11 @@ struct Coordinator::Impl {
                            std::to_string(cell));
         }
         rows.push_back(std::move(row));
-        rows_out << line << '\n';
+        rows_out.write_line(line);
       }
-      rows_out.flush();
       c.staged.erase(staged);
     }
-    records_out << exp::shard_line(rec) << '\n';
-    records_out.flush();
+    records_out.write_line(exp::shard_line(rec));
     done.emplace(cell, rec.group_json);
     records.push_back(std::move(rec));
     running.erase(cell);
@@ -353,21 +406,19 @@ struct Coordinator::Impl {
   void open_spools() {
     std::filesystem::create_directories(opt.state_dir);
     if (opt.resume) load_manifest();
-    records_out.open(records_path(opt.state_dir), std::ios::trunc);
+    records_out.open(records_path(opt.state_dir));
     for (const exp::ShardRecord& rec : records) {
-      records_out << exp::shard_line(rec) << '\n';
+      records_out.write_line(exp::shard_line(rec));
     }
-    records_out.flush();
-    if (!records_out) {
+    if (!records_out.ok()) {
       throw std::runtime_error("cannot write spool " +
                                records_path(opt.state_dir));
     }
     if (opt.rows) {
-      rows_out.open(rows_path(opt.state_dir), std::ios::trunc);
-      rows_out << exp::rows_header() << '\n';
-      for (const exp::RowsRecord& row : rows) rows_out << row.line << '\n';
-      rows_out.flush();
-      if (!rows_out) {
+      rows_out.open(rows_path(opt.state_dir));
+      rows_out.write_line(exp::rows_header());
+      for (const exp::RowsRecord& row : rows) rows_out.write_line(row.line);
+      if (!rows_out.ok()) {
         throw std::runtime_error("cannot write spool " +
                                  rows_path(opt.state_dir));
       }

@@ -1,7 +1,7 @@
 #include "util/cli.h"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "util/check.h"
@@ -10,30 +10,37 @@ namespace dash::util {
 
 namespace {
 
+// All three parse with std::from_chars: locale-independent (the strto*
+// family honours LC_NUMERIC, so "--rate 0.3" would fail under a
+// comma-decimal locale), no errno, and whole-string strictness falls
+// out of the end-pointer check.
+
 bool parse_i64(const std::string& s, std::int64_t* out) {
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  std::int64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size() || s.empty()) {
+    return false;
+  }
   *out = v;
   return true;
 }
 
 bool parse_u64(const std::string& s, std::uint64_t* out) {
-  if (!s.empty() && s[0] == '-') return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size() || s.empty()) {
+    return false;
+  }
   *out = v;
   return true;
 }
 
 bool parse_f64(const std::string& s, double* out) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size() || s.empty()) {
+    return false;
+  }
   *out = v;
   return true;
 }

@@ -1,6 +1,6 @@
 #include "util/csv.h"
 
-#include <cstdio>
+#include <charconv>
 
 #include "util/check.h"
 
@@ -27,9 +27,15 @@ std::string CsvWriter::escape(const std::string& field) {
 }
 
 std::string CsvWriter::to_field(double v) {
+  // std::to_chars, not snprintf: %g consults LC_NUMERIC, so a host
+  // locale with a comma decimal point would corrupt every CSV and
+  // BENCH document. to_chars(general, 10) is specified as printf
+  // "%.10g" in the C locale -- byte-identical output, always.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v,
+                                       std::chars_format::general, 10);
+  DASH_CHECK(ec == std::errc{});
+  return std::string(buf, end);
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {

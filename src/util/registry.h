@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <functional>
 #include <limits>
 #include <map>
@@ -51,10 +52,11 @@ inline SpecParts split_spec(const std::string& spec) {
 
 /// Parse the parameter half of a spec as an unsigned integer no larger
 /// than `max_value`, with an actionable error naming the entry
-/// ("capped") and the bad input. Strictly digits only: stoul alone
-/// would accept "-1" (wrapping to a huge value) and leading
-/// whitespace; the bound keeps narrower call sites (uint32 strategy
-/// parameters) from silently wrapping at their static_cast.
+/// ("capped") and the bad input. std::from_chars with a digits-only
+/// precheck: locale-independent (stoul honoured LC_NUMERIC grouping),
+/// and it rejects "-1" (which stoul silently wraps to a huge value)
+/// and leading whitespace; the bound keeps narrower call sites (uint32
+/// strategy parameters) from silently wrapping at their static_cast.
 inline unsigned long parse_spec_uint(
     const std::string& name, const std::string& param,
     unsigned long max_value = std::numeric_limits<unsigned long>::max()) {
@@ -62,12 +64,11 @@ inline unsigned long parse_spec_uint(
       !param.empty() &&
       std::all_of(param.begin(), param.end(),
                   [](unsigned char c) { return std::isdigit(c); });
-  try {
-    if (!digits_only) throw std::invalid_argument(param);
-    const unsigned long value = std::stoul(param);
-    if (value > max_value) throw std::out_of_range(param);
-    return value;
-  } catch (const std::exception&) {
+  unsigned long value = 0;
+  const auto [end, ec] =
+      std::from_chars(param.data(), param.data() + param.size(), value);
+  if (!digits_only || ec != std::errc{} ||
+      end != param.data() + param.size() || value > max_value) {
     throw std::invalid_argument("bad parameter for '" + name + "': '" +
                                 param + "' (expected an unsigned integer" +
                                 (max_value <
@@ -77,6 +78,7 @@ inline unsigned long parse_spec_uint(
                                      : "") +
                                 ")");
   }
+  return value;
 }
 
 template <typename T, typename... Args>

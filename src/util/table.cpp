@@ -1,7 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
 
 #include "util/check.h"
 
@@ -26,9 +26,14 @@ Table& Table::cell(const std::string& value) {
 }
 
 Table& Table::cell(double value, int decimals) {
+  // to_chars(fixed, decimals) == printf "%.*f" in the C locale; the
+  // locale-sensitive snprintf would print "0,06" under comma-decimal
+  // locales.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
-  return cell(std::string(buf));
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                       std::chars_format::fixed, decimals);
+  DASH_CHECK(ec == std::errc{});
+  return cell(std::string(buf, end));
 }
 
 void Table::print(std::ostream& out) const {

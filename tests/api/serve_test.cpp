@@ -1,0 +1,264 @@
+// serve_test.cpp -- the concurrent serving engine (Network::serve):
+// epoch publication cadence, queries served from pinned snapshots
+// while play() mutates on another thread, the one-shot ServeReader
+// conveniences, and the AsyncSink half of the observer pipeline
+// (byte-identity vs the synchronous path, bounded-capacity stress,
+// flush barrier).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "api/async_sink.h"
+#include "api/network.h"
+#include "api/scenario.h"
+#include "api/serve.h"
+#include "api/sink.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dash::api {
+namespace {
+
+using dash::util::Rng;
+
+graph::Graph make_ba(std::size_t n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return graph::barabasi_albert(n, 2, rng);
+}
+
+TEST(Serve, PublishesInitialStateOnAttach) {
+  Network net(make_ba(64), "dash", 1);
+  ServeHandle& serve = net.serve();
+  EXPECT_EQ(serve.epoch(), 1u);  // initial state, before any play()
+  ServeReader reader = serve.reader();
+  EXPECT_EQ(reader.epoch(), 1u);
+  EXPECT_EQ(reader.pin().alive(), 64u);
+}
+
+TEST(Serve, ServeIsIdempotentPerNetwork) {
+  Network net(make_ba(16), "dash", 1);
+  ServeHandle& a = net.serve();
+  ServeHandle& b = net.serve();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(net.serve_handle(), &a);
+}
+
+TEST(Serve, EpochAdvancesWithMutationEvents) {
+  Network net(make_ba(64), "dash", 1);
+  MemorySink rows;
+  net.add_observer(std::make_unique<SinkObserver>(rows));
+  ServeHandle& serve = net.serve();
+  EXPECT_EQ(serve.epoch(), 1u);  // attach publish
+  Rng rng(2);
+  net.play(Scenario::parse("churn:0.3,0.1x50"), rng);
+  // Cadence 1: attach + one publish per mutation event (exactly the
+  // events SinkObserver saw as rows) + the unconditional finish.
+  EXPECT_EQ(serve.epoch(), 1 + rows.rows().size() + 1);
+  EXPECT_GT(rows.rows().size(), 0u);
+}
+
+TEST(Serve, PublishCadenceThrottlesEpochs) {
+  ServeOptions every8;
+  every8.publish_every = 8;
+  Network coarse(make_ba(64), "dash", 1);
+  coarse.serve(every8);
+  Network fine(make_ba(64), "dash", 1);
+  fine.serve();
+  Rng r1(2), r2(2);
+  const Scenario s = Scenario::parse("churn:0.3,0.1x64");
+  coarse.play(s, r1);
+  fine.play(s, r2);
+  EXPECT_LT(coarse.serve().epoch(), fine.serve().epoch());
+  // Cadence must not change the mutation outcome.
+  EXPECT_EQ(coarse.graph().num_alive(), fine.graph().num_alive());
+}
+
+TEST(Serve, QueriesDuringPlayOnBackgroundThread) {
+  Network net(make_ba(512), "dash", 3);
+  ServeHandle& serve = net.serve();
+  ServeReader reader = serve.reader();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::atomic<std::size_t> torn{0};
+  std::thread t([&, reader = std::move(reader)]() mutable {
+    Rng pick(11);
+    while (!stop.load(std::memory_order_relaxed)) {
+      ServePin pin = reader.pin();
+      const auto& alive = pin.snapshot().view().alive_nodes();
+      if (alive.size() < 2) continue;
+      const graph::NodeId u =
+          alive[static_cast<std::size_t>(pick.below(alive.size()))];
+      const graph::NodeId v =
+          alive[static_cast<std::size_t>(pick.below(alive.size()))];
+      if (pin.connected(u, v) != pin.distance(u, v).has_value()) {
+        torn.fetch_add(1);
+      }
+      reads.fetch_add(1);
+    }
+  });
+
+  Rng rng(4);
+  net.play(Scenario::parse("churn:0.3,0.1x300"), rng);
+  // The store keeps serving after play() (finish published the final
+  // state): wait until the reader has demonstrably made progress
+  // before stopping it, so the assertion is robust under CI load even
+  // when play() outruns thread startup.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reads.load() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GE(reads.load(), 10u);
+  // finish() published the final state: a fresh reader sees the
+  // network exactly as the mutation side left it.
+  ServeReader after = serve.reader();
+  EXPECT_EQ(after.pin().alive(), net.graph().num_alive());
+}
+
+TEST(Serve, OneShotConveniencesMatchPinnedQueries) {
+  Network net(make_ba(64), "dash", 1);
+  ServeHandle& serve = net.serve();
+  ServeReader reader = serve.reader();
+  EXPECT_EQ(reader.largest_component(), 64u);
+  EXPECT_EQ(reader.component_count(), 1u);
+  EXPECT_TRUE(reader.connected(0, 63));
+  EXPECT_TRUE(reader.distance(0, 63).has_value());
+}
+
+TEST(Serve, ExplicitPublishBetweenEvents) {
+  Network net(make_ba(32), "dash", 1);
+  ServeHandle& serve = net.serve();
+  const std::uint64_t e = serve.epoch();
+  EXPECT_EQ(serve.publish(), e + 1);
+  EXPECT_EQ(serve.epoch(), e + 1);
+}
+
+TEST(Serve, NestedParallelForOverServeReads) {
+  // The serve read path from inside pool tasks -- including a nested
+  // parallel_for whose caller-runner participates -- must stay safe:
+  // make_reader() is any-thread, pins are per-reader, and nothing on
+  // the read path touches pool state.
+  Network net(make_ba(256), "dash", 7);
+  ServeHandle& serve = net.serve();
+  Rng rng(8);
+  net.play(Scenario::parse("churn:0.3,0.1x100"), rng);
+
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> torn{0};
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(4, [&](std::size_t inner) {
+      ServeReader reader = serve.reader();
+      ServePin pin = reader.pin();
+      const auto& alive = pin.snapshot().view().alive_nodes();
+      if (alive.size() < 2) return;
+      Rng pick(100 + outer * 8 + inner);
+      for (int q = 0; q < 20; ++q) {
+        const graph::NodeId u =
+            alive[static_cast<std::size_t>(pick.below(alive.size()))];
+        const graph::NodeId v =
+            alive[static_cast<std::size_t>(pick.below(alive.size()))];
+        if (pin.connected(u, v) != pin.distance(u, v).has_value()) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  });
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+// ---- AsyncSink -------------------------------------------------------------
+
+/// Drive the same scenario into a synchronous CsvStreamSink and an
+/// AsyncSink-wrapped one; outputs must be byte-identical.
+TEST(AsyncSink, OutputByteIdenticalToSynchronousPath) {
+  const Scenario s = Scenario::parse("churn:0.3,0.1x100");
+
+  std::ostringstream sync_out;
+  {
+    Network net(make_ba(128), "dash", 9);
+    CsvStreamSink sink(sync_out);
+    net.add_observer(std::make_unique<SinkObserver>(sink));
+    Rng rng(6);
+    net.play(s, rng);
+    sink.flush();
+  }
+
+  std::ostringstream async_out;
+  {
+    Network net(make_ba(128), "dash", 9);
+    CsvStreamSink inner(async_out);
+    AsyncSink sink(inner, 8);  // tiny ring: force producer blocking
+    net.add_observer(std::make_unique<SinkObserver>(sink));
+    Rng rng(6);
+    net.play(s, rng);
+    sink.flush();
+  }
+
+  EXPECT_EQ(sync_out.str(), async_out.str());
+  EXPECT_FALSE(async_out.str().empty());
+}
+
+TEST(AsyncSink, PreservesOrderUnderCapacityPressure) {
+  MemorySink memory;
+  {
+    AsyncSink sink(memory, 2);  // rounds to capacity 2
+    RoundRow row;
+    for (int i = 0; i < 5000; ++i) {
+      row.round = static_cast<std::size_t>(i);
+      sink.on_row(row);
+    }
+    sink.flush();
+    EXPECT_EQ(memory.rows().size(), 5000u);
+    EXPECT_GE(sink.high_water(), 1u);
+    EXPECT_LE(sink.high_water(), sink.capacity());
+  }
+  for (std::size_t i = 0; i < memory.rows().size(); ++i) {
+    EXPECT_EQ(memory.rows()[i].round, i);
+  }
+}
+
+TEST(AsyncSink, FlushIsABarrier) {
+  MemorySink memory;
+  AsyncSink sink(memory, 1024);
+  RoundRow row;
+  for (int i = 0; i < 100; ++i) {
+    row.round = static_cast<std::size_t>(i);
+    sink.on_row(row);
+  }
+  sink.flush();
+  // After flush() returns every queued event reached the inner sink.
+  EXPECT_EQ(memory.rows().size(), 100u);
+}
+
+TEST(AsyncSink, DestructorDrainsOutstandingEvents) {
+  MemorySink memory;
+  {
+    AsyncSink sink(memory, 256);
+    RoundRow row;
+    for (int i = 0; i < 200; ++i) {
+      row.round = static_cast<std::size_t>(i);
+      sink.on_row(row);
+    }
+    // No flush: the destructor must deliver everything.
+  }
+  EXPECT_EQ(memory.rows().size(), 200u);
+}
+
+TEST(AsyncSink, NameReflectsInnerSink) {
+  MemorySink memory;
+  AsyncSink sink(memory, 4);
+  EXPECT_EQ(sink.name(), "async:" + memory.name());
+}
+
+}  // namespace
+}  // namespace dash::api

@@ -1,0 +1,127 @@
+// cloexec_test.cpp -- fleet sockets must be close-on-exec. An fd
+// inherited by a spawned agent (or any exec'd child) keeps the
+// connection "open" in the kernel after the coordinator-side owner
+// closes it, so peer death never surfaces as EOF and lease
+// reassignment stalls for the lifetime of the child. Every socket is
+// created with SOCK_CLOEXEC (and accept4(SOCK_CLOEXEC)); these tests
+// pin the flag directly and prove the EOF-on-death behavior survives
+// a concurrently spawned child.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fleet/channel.h"
+
+namespace dash::fleet {
+namespace {
+
+bool is_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  return flags >= 0 && (flags & FD_CLOEXEC) != 0;
+}
+
+std::string temp_sock_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("dash_cloexec_" + tag + "_" + std::to_string(::getpid()) +
+           ".sock"))
+      .string();
+}
+
+TEST(Cloexec, UnixSocketsCarryTheFlag) {
+  const std::string path = temp_sock_path("unix");
+  Listener listener(Endpoint::parse("unix:" + path));
+  EXPECT_TRUE(is_cloexec(listener.fd()));
+
+  Channel client = connect_channel(listener.endpoint());
+  EXPECT_TRUE(is_cloexec(client.fd()));
+
+  Channel accepted = listener.accept();
+  EXPECT_TRUE(is_cloexec(accepted.fd()));
+}
+
+TEST(Cloexec, TcpSocketsCarryTheFlag) {
+  Listener listener(Endpoint::parse("tcp:0"));  // ephemeral port
+  EXPECT_TRUE(is_cloexec(listener.fd()));
+
+  Channel client = connect_channel(listener.endpoint());
+  EXPECT_TRUE(is_cloexec(client.fd()));
+
+  Channel accepted = listener.accept();
+  EXPECT_TRUE(is_cloexec(accepted.fd()));
+}
+
+TEST(Cloexec, PeerCloseDeliversEofDespiteSpawnedChild) {
+  // The regression this guards: fork+exec a long-lived child while a
+  // connection is open. Without CLOEXEC the child inherits both fds
+  // and the server would never see EOF after the client closes -- the
+  // poll() below would time out. With CLOEXEC the exec drops every
+  // copy and EOF arrives immediately.
+  const std::string path = temp_sock_path("eof");
+  Listener listener(Endpoint::parse("unix:" + path));
+  Channel client = connect_channel(listener.endpoint());
+  Channel server = listener.accept();
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::execl("/bin/sleep", "sleep", "30", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  client.close();
+
+  pollfd pfd{};
+  pfd.fd = server.fd();
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, 5000);
+  EXPECT_EQ(ready, 1) << "no EOF within 5s: an fd leaked into the child";
+  if (ready == 1) {
+    // Orderly EOF: recv() reports the peer as gone.
+    EXPECT_FALSE(server.recv().has_value());
+  }
+
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+}
+
+TEST(Cloexec, AgentDeathForfeitsPromptly) {
+  // Same property from the other side: SIGKILL the process holding
+  // the client end; the server must observe EOF promptly (this is
+  // what turns agent death into immediate lease forfeiture instead of
+  // a lease-timeout wait).
+  const std::string path = temp_sock_path("death");
+  Listener listener(Endpoint::parse("unix:" + path));
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: connect, then hang until killed.
+    try {
+      Channel mine = connect_channel(listener.endpoint());
+      ::pause();
+    } catch (...) {
+    }
+    _exit(0);
+  }
+
+  Channel server = listener.accept();
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+
+  pollfd pfd{};
+  pfd.fd = server.fd();
+  pfd.events = POLLIN;
+  EXPECT_EQ(::poll(&pfd, 1, 5000), 1);
+  EXPECT_FALSE(server.recv().has_value());
+}
+
+}  // namespace
+}  // namespace dash::fleet

@@ -1,0 +1,167 @@
+// snapshot_store_test.cpp -- epoch publication, pin-based reclamation,
+// buffer recycling, and a concurrent publish/read stress with the
+// label-vs-BFS torn-read cross-check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/snapshot_store.h"
+#include "util/rng.h"
+
+namespace dash::graph {
+namespace {
+
+using dash::util::Rng;
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(SnapshotStore, EpochsAdvancePerPublish) {
+  Graph g = path_graph(8);
+  SnapshotStore store;
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_EQ(store.publish(g), 1u);
+  EXPECT_EQ(store.publish(g), 2u);
+  EXPECT_EQ(store.epoch(), 2u);
+}
+
+TEST(SnapshotStore, SnapshotAnswersFromPublishTimeState) {
+  Graph g = path_graph(6);
+  SnapshotStore store;
+  store.publish(g);
+
+  SnapshotStore::Reader reader = store.make_reader();
+  TraversalScratch scratch;
+  {
+    SnapshotStore::Pin pin = reader.pin();
+    EXPECT_EQ(pin->epoch(), 1u);
+    EXPECT_EQ(pin->num_alive(), 6u);
+    EXPECT_TRUE(pin->connected(0, 5));
+    EXPECT_EQ(pin->distance(0, 5, scratch), std::uint32_t{5});
+
+    // Mutate after publish: the pinned snapshot must not notice.
+    g.delete_node(3);
+    EXPECT_TRUE(pin->connected(0, 5));
+    EXPECT_TRUE(pin->alive(3));
+  }
+
+  // The next publish sees the cut.
+  store.publish(g);
+  SnapshotStore::Pin fresh = reader.pin();
+  EXPECT_EQ(fresh->epoch(), 2u);
+  EXPECT_FALSE(fresh->connected(0, 5));
+  EXPECT_FALSE(fresh->alive(3));
+  EXPECT_FALSE(fresh->distance(0, 5, scratch).has_value());
+  EXPECT_EQ(fresh->component_count(), 2u);
+  EXPECT_EQ(fresh->largest_component(), 3u);
+}
+
+TEST(SnapshotStore, PinBlocksReclamationUntilReleased) {
+  Graph g = path_graph(4);
+  SnapshotStore store;
+  store.publish(g);
+
+  SnapshotStore::Reader reader = store.make_reader();
+  {
+    SnapshotStore::Pin pin = reader.pin();
+    EXPECT_EQ(pin->epoch(), 1u);
+    store.publish(g);  // retires epoch 1, but the pin protects it
+    EXPECT_EQ(store.retired_pending(), 1u);
+    EXPECT_EQ(store.live_snapshots(), 2u);
+    EXPECT_EQ(pin->epoch(), 1u);  // still readable
+  }
+  // Unpinned now; the next publish reclaims it.
+  store.publish(g);
+  EXPECT_EQ(store.retired_pending(), 0u);
+  EXPECT_EQ(store.live_snapshots(), 1u);
+}
+
+TEST(SnapshotStore, FreedSnapshotsAreRecycledNotReallocated) {
+  Graph g = path_graph(16);
+  SnapshotStore store;
+  store.publish(g);
+  // No pins: every publish retires the predecessor and immediately
+  // frees it, so the allocated set stays at one live snapshot (plus
+  // the recycled buffer the next publish reuses).
+  for (int i = 0; i < 50; ++i) store.publish(g);
+  EXPECT_EQ(store.live_snapshots(), 1u);
+  EXPECT_EQ(store.retired_pending(), 0u);
+}
+
+TEST(SnapshotStore, ReaderSlotsAreRecycled) {
+  Graph g = path_graph(4);
+  SnapshotStore store;
+  store.publish(g);
+  { SnapshotStore::Reader r = store.make_reader(); }
+  { SnapshotStore::Reader r = store.make_reader(); }
+  { SnapshotStore::Reader r = store.make_reader(); }
+  EXPECT_EQ(store.reader_slots(), 1u);
+  SnapshotStore::Reader a = store.make_reader();
+  SnapshotStore::Reader b = store.make_reader();
+  EXPECT_EQ(store.reader_slots(), 2u);
+}
+
+TEST(SnapshotStore, ConcurrentPublishAndReadStress) {
+  // One writer republishing a mutating graph, several readers pinning
+  // and cross-checking label connectivity against BFS reachability on
+  // every pin. Any disagreement within one pin is a torn read.
+  Rng rng(7);
+  Graph g = barabasi_albert(256, 2, rng);
+  SnapshotStore store;
+  store.publish(g);
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> torn{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    SnapshotStore::Reader reader = store.make_reader();
+    threads.emplace_back(
+        [&, r, reader = std::move(reader)]() mutable {
+          TraversalScratch scratch;
+          Rng pick(1000 + static_cast<std::uint64_t>(r));
+          while (!stop.load(std::memory_order_relaxed)) {
+            SnapshotStore::Pin pin = reader.pin();
+            const auto& alive = pin->view().alive_nodes();
+            if (alive.size() < 2) continue;
+            const NodeId u =
+                alive[static_cast<std::size_t>(pick.below(alive.size()))];
+            const NodeId v =
+                alive[static_cast<std::size_t>(pick.below(alive.size()))];
+            const bool conn = pin->connected(u, v);
+            const bool reach = pin->distance(u, v, scratch).has_value();
+            if (conn != reach) torn.fetch_add(1);
+          }
+        });
+  }
+
+  Rng mut(99);
+  for (int i = 0; i < 400; ++i) {
+    const NodeId victim = static_cast<NodeId>(mut.below(g.num_nodes()));
+    if (g.alive(victim) && g.num_alive() > 8) {
+      g.delete_node(victim);
+    } else {
+      const NodeId fresh = g.add_node();
+      const NodeId anchor = static_cast<NodeId>(mut.below(fresh));
+      if (g.alive(anchor)) g.add_edge(fresh, anchor);
+    }
+    store.publish(g);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(store.epoch(), 401u);
+  // All pins released: one more publish sweeps the retired list.
+  store.publish(g);
+  EXPECT_EQ(store.retired_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace dash::graph

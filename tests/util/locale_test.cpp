@@ -1,0 +1,172 @@
+// locale_test.cpp -- numeric parsing and formatting must be
+// locale-independent. Under a comma-decimal locale (de_DE, fr_FR, ...)
+// the strto*/printf family reads "0.3" as 0 and prints 0.3 as "0,3",
+// which used to corrupt scenario specs, CLI options, and every CSV /
+// BENCH document. All call sites now go through std::from_chars /
+// std::to_chars; these tests pin that by imbuing a comma-decimal
+// locale for the duration of each check.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "api/scenario.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/registry.h"
+#include "util/table.h"
+
+namespace dash {
+namespace {
+
+/// Switch the process to a comma-decimal locale; restore on
+/// destruction. Minimal containers ship only C/POSIX, so when no
+/// candidate is installed this compiles one with localedef into a
+/// temp dir and points LOCPATH at it (done once per process). ok() is
+/// false only when that fails too -- the test then skips rather than
+/// silently passing.
+class CommaLocale {
+ public:
+  CommaLocale() {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_ = current ? current : "C";
+    if (try_candidates()) return;
+    if (provision_locale() && try_candidates()) return;
+    std::setlocale(LC_ALL, saved_.c_str());
+  }
+  ~CommaLocale() { std::setlocale(LC_ALL, saved_.c_str()); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool try_candidates() {
+    const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8",  "fr_FR.UTF-8",
+                                "fr_FR.utf8",  "es_ES.UTF-8", "it_IT.UTF-8",
+                                "pt_BR.UTF-8", "ru_RU.UTF-8", "de_DE",
+                                "fr_FR"};
+    for (const char* name : candidates) {
+      if (std::setlocale(LC_ALL, name) != nullptr &&
+          std::localeconv()->decimal_point[0] == ',') {
+        ok_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool provision_locale() {
+    static const bool provisioned = [] {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      const fs::path dir =
+          fs::temp_directory_path(ec) / "dash_test_locales";
+      if (ec) return false;
+      fs::create_directories(dir, ec);
+      if (ec) return false;
+      const std::string cmd = "localedef -i de_DE -f UTF-8 '" +
+                              (dir / "de_DE.UTF-8").string() +
+                              "' >/dev/null 2>&1";
+      // localedef exits nonzero on harmless warnings; trust the
+      // LOCPATH probe in try_candidates() instead of the exit code.
+      (void)std::system(cmd.c_str());
+      return ::setenv("LOCPATH", dir.c_str(), 1) == 0;
+    }();
+    return provisioned;
+  }
+
+  std::string saved_;
+  bool ok_ = false;
+};
+
+#define REQUIRE_COMMA_LOCALE(guard)                                       \
+  if (!(guard).ok()) {                                                    \
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";     \
+  }                                                                       \
+  /* Sanity: printf really is comma-decimal right now. */                 \
+  {                                                                       \
+    char buf[16];                                                         \
+    std::snprintf(buf, sizeof buf, "%.1f", 0.5);                          \
+    ASSERT_STREQ(buf, "0,5");                                             \
+  }
+
+TEST(Locale, ScenarioRatesParseUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  const api::Scenario s = api::Scenario::parse("churn:0.3,0.1x50");
+  EXPECT_EQ(s.spec(), "churn:0.3,0.1x50");
+  // And comma-decimal spellings stay rejected: "0,3" is two fields in
+  // the spec grammar, never a single rate.
+  EXPECT_THROW(api::Scenario::parse("churn:0#3,0.1x50"),
+               std::invalid_argument);
+}
+
+TEST(Locale, CliDoubleOptionParsesUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  double rate = 0.0;
+  std::int64_t count = 0;
+  std::uint64_t seed = 0;
+  util::Options opts("locale test");
+  opts.add_double("rate", &rate, "a rate");
+  opts.add_int("count", &count, "a count");
+  opts.add_uint("seed", &seed, "a seed");
+  const char* argv[] = {"prog", "--rate", "0.25", "--count", "-3",
+                        "--seed", "42"};
+  ASSERT_TRUE(opts.parse(7, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(count, -3);
+  EXPECT_EQ(seed, 42u);
+}
+
+TEST(Locale, SpecUintParsesUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  EXPECT_EQ(util::parse_spec_uint("capped", "123456"), 123456ul);
+  EXPECT_THROW(util::parse_spec_uint("capped", "1.234"),
+               std::invalid_argument);
+}
+
+TEST(Locale, CsvFieldFormattingUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  // to_chars(general, 10) == printf %.10g in the *C* locale, whatever
+  // the process locale says.
+  EXPECT_EQ(util::CsvWriter::to_field(0.1), "0.1");
+  EXPECT_EQ(util::CsvWriter::to_field(0.3), "0.3");
+  EXPECT_EQ(util::CsvWriter::to_field(2.5), "2.5");
+  EXPECT_EQ(util::CsvWriter::to_field(1.0), "1");
+  EXPECT_EQ(util::CsvWriter::to_field(1234567.25), "1234567.25");
+  EXPECT_EQ(util::CsvWriter::to_field(1e-9), "1e-09");
+}
+
+TEST(Locale, TableCellFormattingUnderCommaLocale) {
+  CommaLocale guard;
+  REQUIRE_COMMA_LOCALE(guard);
+  util::Table t({"v"});
+  t.begin_row().cell(0.0625, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("0.06"), std::string::npos);
+  EXPECT_EQ(os.str().find(','), std::string::npos);
+}
+
+/// Differential check in the default C locale: to_chars-based
+/// formatting must be byte-identical to the snprintf("%.10g") it
+/// replaced, across magnitudes (the batch outputs' byte-stability
+/// contract hangs on this).
+TEST(Locale, ToFieldMatchesPrintfInCLocale) {
+  const double values[] = {0.0,    -0.0,     1.0,      0.1,     1.0 / 3.0,
+                           2.5e-8, 6.25e17,  -123.456, 1e300,   5e-324,
+                           0.3,    1048576., 3.14159,  -0.0001, 99999999999.5};
+  for (double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    EXPECT_EQ(util::CsvWriter::to_field(v), std::string(buf)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace dash

@@ -73,6 +73,71 @@ TEST(ThreadPool, DefaultSizeAtLeastOne) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, ParallelForErrorStillRunsRemainingIndices) {
+  // One failing index must not strand the rest of the range: every
+  // other index still executes exactly once (experiment suites rely on
+  // this -- a poisoned cell fails its own future, the shard completes).
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("cell 17");
+                          hits[i].fetch_add(1);
+                        }),
+      std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i == 17 ? 0 : 1) << "index " << i;
+  }
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsExactlyOnceForManyFailures) {
+  // Several indices throwing must surface as one exception (the first
+  // encountered), not terminate() from a second in-flight rethrow.
+  ThreadPool pool(4);
+  std::atomic<int> failures{0};
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      if (i % 4 == 0) {
+        failures.fetch_add(1);
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected parallel_for to throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(failures.load(), 8);
+}
+
+TEST(ThreadPool, PoolUsableAfterParallelForException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The pool (and its workers) must survive for the next call.
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t outer) {
+                          pool.parallel_for(4, [&](std::size_t inner) {
+                            if (outer == 1 && inner == 2) {
+                              throw std::runtime_error("nested");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 TEST(ThreadPool, NestedParallelForLeavesNoQueuedHelpers) {
   // Occupy every worker, then run parallel_for from this thread: the
   // caller-runner drains the whole range while the helpers sit in the

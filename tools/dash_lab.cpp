@@ -43,6 +43,7 @@
 // document still byte-identical to a sequential run. The coordinator's
 // state dir doubles as a resume manifest (serve --resume).
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -56,6 +57,7 @@
 #include <vector>
 
 #include "api/scenario.h"
+#include "api/serve_bench.h"
 #include "exp/chaos.h"
 #include "exp/orchestrator.h"
 #include "exp/runner.h"
@@ -69,6 +71,7 @@
 #include "replay/shrink.h"
 #include "replay/trace.h"
 #include "util/cli.h"
+#include "util/registry.h"
 
 namespace {
 
@@ -113,14 +116,19 @@ struct LabOptions {
   std::uint64_t agents = 0;              ///< serve --agents (local)
   std::uint64_t lease_ms = 10000;        ///< serve --lease-ms
   std::uint64_t stop_after = 0;          ///< serve --stop-after
+  // serve-bench
+  std::string readers = "1,2,4,8";       ///< serve-bench --readers
+  std::uint64_t publish_every = 1;       ///< serve-bench --publish-every
+  std::uint64_t distance_every = 16;     ///< serve-bench --distance-every
+  bool verify = false;                   ///< serve-bench --verify
 };
 
 int usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: dash_lab "
-      "<run|merge|list-cells|serve|agent|status|record|replay|fuzz> "
-      "[options]\n"
+      "<run|merge|list-cells|serve|agent|status|serve-bench|record|"
+      "replay|fuzz> [options]\n"
       "\n"
       "subcommands:\n"
       "  run         execute the grid: sequentially, as one shard\n"
@@ -137,6 +145,11 @@ int usage(std::FILE* to) {
       "  agent       attach to a coordinator (--connect) and claim\n"
       "              cells until it says shutdown\n"
       "  status      print a serving coordinator's live progress\n"
+      "  serve-bench measure the concurrent serving engine: N reader\n"
+      "              threads answer queries from pinned epoch\n"
+      "              snapshots while a churn+heal scenario mutates the\n"
+      "              network; reports reads/s and p50/p99/p999, exits\n"
+      "              1 on any torn read or determinism violation\n"
       "  record      play one scenario, capturing every event as a\n"
       "              replayable trace (--trace FILE)\n"
       "  replay      re-execute a trace bit-identically, or leniently\n"
@@ -162,19 +175,18 @@ ExperimentSpec load_spec(const LabOptions& opt) {
 
 void parse_shard(const std::string& text, dash::exp::ShardOptions* out) {
   const auto slash = text.find('/');
-  std::size_t index_end = 0, count_end = 0;
-  try {
-    if (slash == std::string::npos || slash == 0 ||
-        slash + 1 >= text.size()) {
-      throw std::invalid_argument("");
-    }
-    out->index = std::stoul(text.substr(0, slash), &index_end);
-    out->count = std::stoul(text.substr(slash + 1), &count_end);
-  } catch (const std::exception&) {
-    index_end = count_end = std::string::npos;
+  bool ok = slash != std::string::npos && slash > 0 &&
+            slash + 1 < text.size();
+  if (ok) {
+    const char* base = text.data();
+    const auto [iend, iec] =
+        std::from_chars(base, base + slash, out->index);
+    const auto [cend, cec] =
+        std::from_chars(base + slash + 1, base + text.size(), out->count);
+    ok = iec == std::errc{} && iend == base + slash &&
+         cec == std::errc{} && cend == base + text.size();
   }
-  if (index_end != slash || count_end != text.size() - slash - 1 ||
-      out->count == 0 || out->index >= out->count) {
+  if (!ok || out->count == 0 || out->index >= out->count) {
     throw std::invalid_argument("bad --shard '" + text +
                                 "' (expected I/N with 0 <= I < N)");
   }
@@ -669,6 +681,40 @@ int cmd_fuzz(const LabOptions& opt) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_serve_bench(const LabOptions& opt) {
+  dash::api::ServeBenchConfig cfg;
+  cfg.n = static_cast<std::size_t>(opt.n);
+  cfg.attach = static_cast<std::size_t>(opt.ba_edges);
+  if (!opt.healer.empty()) cfg.healer = opt.healer;
+  cfg.scenario = opt.scenario;
+  cfg.seed = opt.seed;
+  cfg.publish_every = static_cast<std::size_t>(opt.publish_every);
+  cfg.distance_every = static_cast<std::size_t>(opt.distance_every);
+  cfg.verify = opt.verify;
+  cfg.rows_path = opt.rows;
+  cfg.reader_counts.clear();
+  for (const std::string& item : split_commas(opt.readers)) {
+    cfg.reader_counts.push_back(static_cast<std::size_t>(
+        dash::util::parse_spec_uint("readers", item, 1024)));
+  }
+  if (cfg.reader_counts.empty()) {
+    throw std::invalid_argument("--readers needs at least one count");
+  }
+
+  const dash::api::ServeBenchReport report =
+      dash::api::run_serve_bench(cfg);
+  if (!opt.quiet) render_serve_table(report, std::cout);
+  if (!opt.json.empty()) {
+    std::ofstream os(opt.json);
+    if (!os) {
+      throw std::runtime_error("cannot open --json path '" + opt.json +
+                               "'");
+    }
+    render_serve_json(cfg, report, os);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -681,7 +727,8 @@ int main(int argc, char** argv) {
       cmd == "record" || cmd == "replay" || cmd == "fuzz";
   const bool fleet_cmd =
       cmd == "serve" || cmd == "agent" || cmd == "status";
-  if (!grid_cmd && !trace_cmd && !fleet_cmd) {
+  const bool bench_cmd = cmd == "serve-bench";
+  if (!grid_cmd && !trace_cmd && !fleet_cmd && !bench_cmd) {
     std::fprintf(stderr, "dash_lab: unknown subcommand '%s'\n\n",
                  cmd.c_str());
     return usage(stderr);
@@ -811,6 +858,26 @@ int main(int argc, char** argv) {
     opt.add_flag("no-shrink", &lab.no_shrink,
                  "keep failing mutants unshrunk (no repro files)");
   }
+  if (cmd == "serve-bench") {
+    opt.add_uint("n", &lab.n, "initial Barabasi-Albert network size");
+    opt.add_uint("ba-edges", &lab.ba_edges, "BA attachment edges");
+    opt.add_string("healer", &lab.healer,
+                   "healer registry spec (default dash)");
+    opt.add_string("scenario", &lab.scenario,
+                   "mutation scenario spec (default paper-churn)");
+    opt.add_uint("seed", &lab.seed, "base seed");
+    opt.add_string("readers", &lab.readers,
+                   "comma-separated reader thread counts to sweep");
+    opt.add_uint("publish-every", &lab.publish_every,
+                 "publish a snapshot every k-th mutation event");
+    opt.add_uint("distance-every", &lab.distance_every,
+                 "every k-th read runs the BFS cross-check (0 = never)");
+    opt.add_flag("verify", &lab.verify,
+                 "cross-check label vs BFS connectivity on every read");
+    opt.add_string("rows", &lab.rows,
+                   "stream per-round rows (async pipeline) to this CSV");
+    opt.add_string("json", &lab.json, "write the report as JSON here");
+  }
   if (cmd == "run" || cmd == "merge" || cmd == "serve") {
     opt.add_string("json", &lab.json,
                    "write the merged BENCH_*.json here (default: stdout "
@@ -831,6 +898,7 @@ int main(int argc, char** argv) {
     if (cmd == "list-cells") return cmd_list_cells(lab);
     if (cmd == "merge") return cmd_merge(lab);
     if (cmd == "serve") return cmd_serve(lab, argv[0]);
+    if (cmd == "serve-bench") return cmd_serve_bench(lab);
     if (cmd == "agent") return cmd_agent(lab);
     if (cmd == "status") return cmd_status(lab);
     if (cmd == "record") return cmd_record(lab);
