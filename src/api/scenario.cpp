@@ -96,6 +96,26 @@ std::vector<std::string> split_commas(const std::string& s) {
   return out;
 }
 
+/// Split at top-level commas only (braces nest): the mix arm
+/// separator, where each arm carries a nested phase list.
+std::vector<std::string> split_commas_toplevel(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '{') ++depth;
+    if (c == '}' && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  out.push_back(current);
+  return out;
+}
+
 /// Alive nodes sorted by (degree desc, id asc): the batch "hubs" order.
 std::vector<NodeId> hubs_first(const graph::Graph& g) {
   auto alive = g.alive_nodes();
@@ -279,6 +299,170 @@ class ChurnPhase final : public ScenarioPhase {
   double leave_rate_;
   std::size_t events_;
   std::size_t attach_;
+};
+
+class JoinPhase final : public ScenarioPhase {
+ public:
+  JoinPhase(std::size_t attach, std::size_t count)
+      : attach_(attach), count_(count) {
+    DASH_CHECK_MSG(attach_ > 0, "join needs >= 1 attachment");
+    DASH_CHECK_MSG(count_ > 0, "join needs a positive count");
+  }
+
+  std::string spec() const override {
+    return "join:" + std::to_string(attach_) + "x" +
+           std::to_string(count_);
+  }
+
+  void execute(PlayContext& ctx) const override {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (ctx.stopped()) break;
+      ctx.net.join(
+          pick_distinct_alive(ctx.net.graph(), ctx.rng, attach_));
+    }
+  }
+
+  std::unique_ptr<ScenarioPhase> clone() const override {
+    return std::make_unique<JoinPhase>(*this);
+  }
+
+ private:
+  std::size_t attach_;
+  std::size_t count_;
+};
+
+class RampPhase final : public ScenarioPhase {
+ public:
+  RampPhase(double join_start, double leave_start, double join_end,
+            double leave_end, std::size_t events, std::size_t attach)
+      : join_start_(join_start),
+        leave_start_(leave_start),
+        join_end_(join_end),
+        leave_end_(leave_end),
+        events_(events),
+        attach_(attach) {
+    DASH_CHECK_MSG(events_ > 0, "ramp needs a positive event count");
+    DASH_CHECK_MSG(attach_ > 0, "ramp joins need >= 1 attachment");
+  }
+
+  std::string spec() const override {
+    std::string out("ramp:");
+    out += rate_to_string(join_start_);
+    out += ',';
+    out += rate_to_string(leave_start_);
+    out += ',';
+    out += rate_to_string(join_end_);
+    out += ',';
+    out += rate_to_string(leave_end_);
+    if (attach_ != 2) {
+      out += ',';
+      out += std::to_string(attach_);
+    }
+    out += 'x';
+    out += std::to_string(events_);
+    return out;
+  }
+
+  void execute(PlayContext& ctx) const override {
+    for (std::size_t e = 0; e < events_; ++e) {
+      if (ctx.stopped()) break;
+      // Linear interpolation of both rates across the phase; the last
+      // tick hits the end rates exactly. Same both-coins-every-tick
+      // stream layout as ChurnPhase, so a ramp with equal start/end
+      // rates consumes the identical RNG stream a churn phase would.
+      const double t =
+          events_ == 1 ? 0.0
+                       : static_cast<double>(e) /
+                             static_cast<double>(events_ - 1);
+      const bool do_join =
+          ctx.rng.chance(join_start_ + (join_end_ - join_start_) * t);
+      const bool do_leave =
+          ctx.rng.chance(leave_start_ + (leave_end_ - leave_start_) * t);
+      if (do_join) {
+        ctx.net.join(
+            pick_distinct_alive(ctx.net.graph(), ctx.rng, attach_));
+      }
+      if (do_leave && ctx.net.graph().num_alive() > ctx.floor) {
+        const auto alive = ctx.net.graph().alive_nodes();
+        ctx.net.remove(
+            alive[static_cast<std::size_t>(ctx.rng.below(alive.size()))]);
+      }
+    }
+  }
+
+  std::unique_ptr<ScenarioPhase> clone() const override {
+    return std::make_unique<RampPhase>(*this);
+  }
+
+ private:
+  double join_start_;
+  double leave_start_;
+  double join_end_;
+  double leave_end_;
+  std::size_t events_;
+  std::size_t attach_;
+};
+
+/// One weighted alternative of a mix phase.
+struct MixArm {
+  std::uint64_t weight = 1;
+  Scenario body;
+};
+
+class MixPhase final : public ScenarioPhase {
+ public:
+  MixPhase(std::vector<MixArm> arms, std::size_t draws)
+      : arms_(std::move(arms)), draws_(draws) {
+    DASH_CHECK_MSG(!arms_.empty(), "mix needs at least one arm");
+    DASH_CHECK_MSG(draws_ > 0, "mix needs a positive draw count");
+    for (const MixArm& arm : arms_) {
+      DASH_CHECK_MSG(arm.weight > 0, "mix weights must be >= 1");
+      DASH_CHECK_MSG(!arm.body.empty(), "mix arm needs at least one phase");
+      total_ += arm.weight;
+    }
+  }
+
+  std::string spec() const override {
+    std::string out("mix:");
+    for (std::size_t i = 0; i < arms_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(arms_[i].weight);
+      out += '{';
+      out += arms_[i].body.spec();
+      out += '}';
+    }
+    out += 'x';
+    out += std::to_string(draws_);
+    return out;
+  }
+
+  void execute(PlayContext& ctx) const override {
+    for (std::size_t d = 0; d < draws_; ++d) {
+      if (ctx.stopped()) break;
+      // One weighted draw per iteration, then the chosen arm's whole
+      // phase list runs once.
+      std::uint64_t r = ctx.rng.below(total_);
+      for (const MixArm& arm : arms_) {
+        if (r < arm.weight) {
+          for (const auto& phase : arm.body.phases()) {
+            if (ctx.stopped()) return;
+            phase->execute(ctx);
+          }
+          break;
+        }
+        r -= arm.weight;
+      }
+    }
+  }
+
+  std::unique_ptr<ScenarioPhase> clone() const override {
+    return std::make_unique<MixPhase>(*this);
+  }
+
+ private:
+  std::vector<MixArm> arms_;
+  std::size_t draws_;
+  std::uint64_t total_ = 0;
 };
 
 class TargetedPhase final : public ScenarioPhase {
@@ -543,6 +727,77 @@ std::unique_ptr<ScenarioPhase> parse_churn(const std::string& param) {
   return std::make_unique<ChurnPhase>(jr, lr, cs.count, attach);
 }
 
+std::unique_ptr<ScenarioPhase> parse_join(const std::string& param) {
+  const CountSplit cs = split_count("join", param);
+  std::size_t attach = 2;
+  if (!cs.head.empty()) {
+    attach = static_cast<std::size_t>(
+        util::parse_spec_uint("join", cs.head));
+    if (attach == 0) {
+      throw std::invalid_argument("join attach count must be >= 1 in '" +
+                                  param + "'");
+    }
+  }
+  return std::make_unique<JoinPhase>(attach, cs.has_count ? cs.count : 1);
+}
+
+std::unique_ptr<ScenarioPhase> parse_ramp(const std::string& param) {
+  const CountSplit cs = split_count("ramp", param);
+  if (!cs.has_count) {
+    throw std::invalid_argument(
+        "ramp phase needs an event count: 'ramp:" + param +
+        "' (expected ramp:<jr0>,<lr0>,<jr1>,<lr1>[,<attach>]xN)");
+  }
+  const auto parts = split_commas(cs.head);
+  if (parts.size() < 4 || parts.size() > 5) {
+    throw std::invalid_argument(
+        "bad ramp phase: 'ramp:" + param +
+        "' (expected ramp:<jr0>,<lr0>,<jr1>,<lr1>[,<attach>]xN)");
+  }
+  const double jr0 = parse_rate("ramp", parts[0]);
+  const double lr0 = parse_rate("ramp", parts[1]);
+  const double jr1 = parse_rate("ramp", parts[2]);
+  const double lr1 = parse_rate("ramp", parts[3]);
+  std::size_t attach = 2;
+  if (parts.size() == 5) {
+    attach = static_cast<std::size_t>(
+        util::parse_spec_uint("ramp", parts[4]));
+    if (attach == 0) {
+      throw std::invalid_argument("ramp attach count must be >= 1 in '" +
+                                  param + "'");
+    }
+  }
+  return std::make_unique<RampPhase>(jr0, lr0, jr1, lr1, cs.count, attach);
+}
+
+std::unique_ptr<ScenarioPhase> parse_mix(const std::string& param) {
+  const CountSplit cs = split_count("mix", param);
+  if (!cs.has_count) {
+    throw std::invalid_argument(
+        "mix phase needs a draw count: 'mix:" + param +
+        "' (expected mix:<w1>{<phases>},<w2>{<phases>}[,...]xN)");
+  }
+  std::vector<MixArm> arms;
+  for (const std::string& item : split_commas_toplevel(cs.head)) {
+    const auto brace = item.find('{');
+    if (item.empty() || brace == std::string::npos || brace == 0 ||
+        item.back() != '}' || !all_digits(item.substr(0, brace))) {
+      throw std::invalid_argument("bad mix arm '" + item + "' in 'mix:" +
+                                  param +
+                                  "' (expected <weight>{<phases>})");
+    }
+    MixArm arm;
+    arm.weight = util::parse_spec_uint("mix", item.substr(0, brace));
+    if (arm.weight == 0) {
+      throw std::invalid_argument("zero weight in 'mix:" + param + "'");
+    }
+    arm.body =
+        Scenario::parse(item.substr(brace + 1, item.size() - brace - 2));
+    arms.push_back(std::move(arm));
+  }
+  return std::make_unique<MixPhase>(std::move(arms), cs.count);
+}
+
 std::unique_ptr<ScenarioPhase> parse_targeted(const std::string& param) {
   const CountSplit cs = split_count("targeted", param);
   const std::string attack = cs.head.empty() ? "maxnode" : cs.head;
@@ -707,6 +962,18 @@ util::Registry<ScenarioPhase>& scenario_phase_registry() {
         "untilfrac",
         [](const std::string& param) { return parse_untilfrac(param); },
         {"until_frac"}, "untilfrac:<frac>[,<attack>]");
+    r->add(
+        "join",
+        [](const std::string& param) { return parse_join(param); }, {},
+        "join[:<attach>][xN]");
+    r->add(
+        "ramp",
+        [](const std::string& param) { return parse_ramp(param); }, {},
+        "ramp:<jr0>,<lr0>,<jr1>,<lr1>[,<attach>]xN");
+    r->add(
+        "mix",
+        [](const std::string& param) { return parse_mix(param); }, {},
+        "mix:<w>{...},<w>{...}xN");
     // Named presets (keep these registered after the primitives they
     // expand to): the spellings grids and dash_lab reference directly.
     add_preset(r, "paper-churn", "churn:0.3,0.1x500");

@@ -35,6 +35,17 @@
 //                                ceil(initial_size * f) nodes survive --
 //                                size-relative, so one spec serves every
 //                                n of a sweep grid
+//   join[:<a>][xN]               N organic arrivals, each wired to
+//                                <a>=2 random alive peers (growth
+//                                without the leave coin of churn)
+//   ramp:<j0>,<l0>,<j1>,<l1>[,<a>]xN
+//                                N churn ticks whose join/leave rates
+//                                ramp linearly from (j0,l0) to (j1,l1)
+//                                -- time-varying churn in one phase
+//   mix:<w1>{...},<w2>{...}xN    weighted scenario mixture: N draws,
+//                                each picking one nested phase list
+//                                with probability w_i / sum(w) and
+//                                running it once
 //   repeat:<k>{...}              repeat a nested phase list k times
 //   floor:<n>                    never delete below n alive nodes
 //   trace:<file>                 replay a recorded trace's event
@@ -187,7 +198,7 @@ class Scenario {
 /// Built-ins: strike (alias delete), batch (aliases batch_strike,
 /// batchstrike), churn, targeted (aliases targeted_attack, run), until
 /// (aliases until_n_left, untilnleft), untilfrac (alias until_frac),
-/// repeat, floor, plus the named presets paper-churn,
+/// join, ramp, mix, repeat, floor, plus the named presets paper-churn,
 /// max-degree-attack, until-half, until-quarter. Case-insensitive;
 /// downstream code may register more.
 util::Registry<ScenarioPhase>& scenario_phase_registry();

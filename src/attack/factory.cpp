@@ -1,5 +1,6 @@
 #include "attack/factory.h"
 
+#include "attack/adaptive.h"
 #include "attack/basic.h"
 
 namespace dash::attack {
@@ -34,6 +35,33 @@ void register_builtins(util::Registry<AttackStrategy, std::uint64_t>& r) {
   r.add("random", seeded<RandomAttack>);
   r.add("minnode", unseeded<MinNodeAttack>, {"min"});
   r.add("maxdelta", unseeded<MaxDeltaAttack>);
+  r.add(
+      "rank",
+      [](const std::string& param,
+         std::uint64_t /*seed*/) -> std::unique_ptr<AttackStrategy> {
+        std::size_t k = 1;  // rank == rank:1 == highest degree
+        if (!param.empty()) {
+          k = static_cast<std::size_t>(
+              util::parse_spec_uint("rank", param, 1u << 20));
+          if (k == 0) {
+            throw std::invalid_argument("rank attack needs k >= 1");
+          }
+        }
+        return std::make_unique<RankAttack>(k);
+      },
+      {}, "rank");
+  r.add(
+      "adaptive",
+      [](const std::string& param,
+         std::uint64_t /*seed*/) -> std::unique_ptr<AttackStrategy> {
+        std::int32_t threshold = 2;
+        if (!param.empty()) {
+          threshold = static_cast<std::int32_t>(
+              util::parse_spec_uint("adaptive", param, 1u << 20));
+        }
+        return std::make_unique<AdaptiveAttack>(threshold);
+      },
+      {}, "adaptive");
 }
 
 }  // namespace

@@ -20,7 +20,9 @@ namespace dash::attack {
 
 /// The single registry serving every attack-strategy lookup. Built-in
 /// entries: "maxnode" (alias "max"), "neighborofmax" (alias "nms"),
-/// "random", "minnode" (alias "min"), "maxdelta". Case-insensitive.
+/// "random", "minnode" (alias "min"), "maxdelta", "rank:<k>" (k-th
+/// highest-degree node), "adaptive[:<t>]" (observer-conditioned; see
+/// attack/adaptive.h). Case-insensitive.
 util::Registry<AttackStrategy, std::uint64_t>& attack_registry();
 
 /// Forwards to attack_registry().create(). Throws std::invalid_argument

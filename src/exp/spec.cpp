@@ -365,12 +365,15 @@ std::function<graph::Graph(util::Rng&)> make_family(
   if (family == "cycle") {
     return [n](util::Rng&) { return graph::cycle_graph(n); };
   }
+  if (family == "line") {
+    return [n](util::Rng&) { return graph::path_graph(n); };
+  }
   throw std::invalid_argument("unknown graph family '" + family +
                               "' (known: " + joined(family_names()) + ")");
 }
 
 std::vector<std::string> family_names() {
-  return {"ba", "tree", "gnp", "ws", "cycle"};
+  return {"ba", "tree", "gnp", "ws", "cycle", "line"};
 }
 
 }  // namespace dash::exp

@@ -121,7 +121,7 @@ struct ExperimentSpec {
 
 /// The graph-family factory the grid vocabulary names: the make_graph
 /// callable for one (family, n) cell. Known families: ba, tree, gnp,
-/// ws, cycle; unknown names throw, listing them.
+/// ws, cycle, line; unknown names throw, listing them.
 std::function<graph::Graph(util::Rng&)> make_family(
     const std::string& family, std::size_t n, std::size_t ba_edges);
 

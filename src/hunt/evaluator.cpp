@@ -1,0 +1,513 @@
+#include "hunt/evaluator.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/runner.h"
+#include "fleet/agent.h"
+#include "fleet/coordinator.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/registry.h"
+
+namespace dash::hunt {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', begin);
+    out.push_back(s.substr(begin, comma - begin));
+    if (comma == std::string::npos) return out;
+    begin = comma + 1;
+  }
+}
+
+double parse_weight(const std::string& text) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size() || v < 0.0) {
+    throw std::invalid_argument("bad fitness weight '" + text +
+                                "' (want a number >= 0)");
+  }
+  return v;
+}
+
+// ---- BENCH group byte mining ------------------------------------------
+//
+// Fitness is parsed straight from the group's JSON bytes rather than
+// from in-memory Metrics, because the fleet backend only hands back
+// bytes -- and identical bytes in every backend is exactly the property
+// that makes sequential / threaded / fleet hunts byte-identical.
+
+/// Top-level JSON objects of `body` (a comma-separated object list),
+/// string- and escape-aware.
+std::vector<std::string> split_objects(const std::string& body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false;
+  bool escape = false;
+  std::size_t begin = std::string::npos;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (escape) {
+        escape = false;
+      } else if (c == '\\') {
+        escape = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) begin = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0 && begin != std::string::npos) {
+        out.push_back(body.substr(begin, i - begin + 1));
+        begin = std::string::npos;
+      }
+    }
+  }
+  return out;
+}
+
+/// The `"runs":[...]` array body of one group.
+std::string runs_body(const std::string& group) {
+  static const std::string kKey = "\"runs\":[";
+  const std::size_t at = group.find(kKey);
+  if (at == std::string::npos) {
+    throw std::logic_error("BENCH group without runs array");
+  }
+  const std::size_t begin = at + kKey.size();
+  // Matching ']' of the runs array: run objects hold no nested arrays,
+  // but violation strings could hold anything -- scan string-aware.
+  int depth = 1;
+  bool in_string = false;
+  bool escape = false;
+  for (std::size_t i = begin; i < group.size(); ++i) {
+    const char c = group[i];
+    if (in_string) {
+      if (escape) {
+        escape = false;
+      } else if (c == '\\') {
+        escape = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[') ++depth;
+    else if (c == ']' && --depth == 0) return group.substr(begin, i - begin);
+  }
+  throw std::logic_error("BENCH group with unterminated runs array");
+}
+
+double run_number(const std::string& run, const std::string& field) {
+  const std::string key = "\"" + field + "\":";
+  const std::size_t at = run.find(key);
+  if (at == std::string::npos) {
+    throw std::logic_error("BENCH run without field " + field);
+  }
+  const char* begin = run.data() + at + key.size();
+  const char* end = run.data() + run.size();
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr == begin) {
+    throw std::logic_error("unparsable BENCH run field " + field);
+  }
+  return v;
+}
+
+bool run_stayed_connected(const std::string& run) {
+  const std::size_t at = run.find("\"stayed_connected\":");
+  if (at == std::string::npos) {
+    throw std::logic_error("BENCH run without stayed_connected");
+  }
+  return run.compare(at + 19, 4, "true") == 0;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string spool_path(const std::string& state_dir) {
+  return state_dir + "/spool.tsv";
+}
+
+constexpr char kGroupSep = '\x1f';  // never appears in JSON output
+
+}  // namespace
+
+FitnessSpec FitnessSpec::parse(const std::string& spec) {
+  const util::SpecParts parts = util::split_spec(spec);
+  const std::string& name = parts.name;
+  const std::string& param = parts.param;
+  FitnessSpec out;
+  if (name == "delta" && param.empty()) {
+    out = {1.0, 0.0, 0.0, "delta"};
+  } else if (name == "stretch" && param.empty()) {
+    out = {0.0, 1.0, 0.0, "stretch"};
+  } else if (name == "disconnect" && param.empty()) {
+    out = {0.0, 0.0, 1.0, "disconnect"};
+  } else if (name == "combo") {
+    const std::vector<std::string> parts = split_commas(param);
+    if (parts.size() != 3) {
+      throw std::invalid_argument(
+          "fitness combo wants 3 weights: combo:<wd>,<ws>,<wc>");
+    }
+    out.w_delta = parse_weight(parts[0]);
+    out.w_stretch = parse_weight(parts[1]);
+    out.w_disconnect = parse_weight(parts[2]);
+    if (out.w_delta == 0.0 && out.w_stretch == 0.0 &&
+        out.w_disconnect == 0.0) {
+      throw std::invalid_argument("fitness combo with all-zero weights");
+    }
+    out.text = "combo:" + util::CsvWriter::to_field(out.w_delta) + "," +
+               util::CsvWriter::to_field(out.w_stretch) + "," +
+               util::CsvWriter::to_field(out.w_disconnect);
+  } else {
+    throw std::invalid_argument(
+        "unknown fitness '" + spec +
+        "'; want delta, stretch, disconnect or combo:<wd>,<ws>,<wc>");
+  }
+  return out;
+}
+
+Evaluator::Evaluator(HuntConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.budget == 0) {
+    throw std::invalid_argument("hunt budget must be >= 1");
+  }
+  if (cfg_.healers.empty()) {
+    throw std::invalid_argument("hunt needs at least one healer");
+  }
+  fitness_ = FitnessSpec::parse(cfg_.fitness);
+  stretch_every_ = cfg_.stretch_every;
+  if (stretch_every_ == 0 && fitness_.needs_stretch()) stretch_every_ = 8;
+  // Validate the target grid eagerly -- family, sizes, healer specs --
+  // with a throwaway scenario, so a typo fails before any search runs.
+  base_spec({"strike:maxnodex1"}).validate();
+  if (!cfg_.state_dir.empty()) {
+    std::filesystem::create_directories(cfg_.state_dir);
+    if (cfg_.resume) load_spool();
+    const std::string path = spool_path(cfg_.state_dir);
+    if (!cfg_.resume || !std::filesystem::exists(path)) {
+      // Fresh spool: stamp the header.
+      spool_.open(path, std::ios::trunc);
+      spool_ << "dash-hunt-spool v1 " << config_hash() << "\n";
+    } else {
+      // Resumed: the loader already rewrote the file with only the
+      // complete lines; append after them.
+      spool_.open(path, std::ios::app);
+    }
+    spool_.flush();
+    if (!spool_) {
+      throw std::invalid_argument("cannot write hunt spool " + path);
+    }
+  }
+}
+
+exp::ExperimentSpec Evaluator::base_spec(
+    std::vector<std::string> scenarios) const {
+  exp::ExperimentSpec spec;
+  spec.name = cfg_.name;
+  spec.families = {cfg_.family};
+  spec.sizes = {cfg_.n};
+  spec.healers = cfg_.healers;
+  spec.scenarios = std::move(scenarios);
+  spec.instances = cfg_.instances;
+  spec.seed = cfg_.seed;
+  spec.ba_edges = cfg_.ba_edges;
+  spec.stretch_every = stretch_every_;
+  spec.labels = "spec";
+  return spec;
+}
+
+std::vector<exp::Cell> Evaluator::cells_for(
+    const AttackGenome& genome) const {
+  return base_spec({genome.spec()}).enumerate();
+}
+
+std::string Evaluator::config_hash() const {
+  std::string identity = "family=" + cfg_.family +
+                         " n=" + std::to_string(cfg_.n) +
+                         " ba_edges=" + std::to_string(cfg_.ba_edges) +
+                         " instances=" + std::to_string(cfg_.instances) +
+                         " seed=" + std::to_string(cfg_.seed) +
+                         " stretch=" + std::to_string(stretch_every_) +
+                         " fitness=" + fitness_.text + " healers=";
+  for (const std::string& h : cfg_.healers) identity += h + ";";
+  return hex64(fnv1a(identity));
+}
+
+double Evaluator::evaluate_one(const AttackGenome& genome) {
+  return evaluate({genome}).front();
+}
+
+std::vector<double> Evaluator::evaluate(
+    const std::vector<AttackGenome>& pop) {
+  // Pass 1: admit new specs to the ledger while budget remains; collect
+  // the ones that still need replays, deduped, in request order.
+  std::vector<std::string> fresh;
+  for (const AttackGenome& g : pop) {
+    const std::string spec = g.spec();
+    if (requested_.count(spec) != 0) continue;
+    if (used_ >= cfg_.budget) continue;  // arrived too late: unscored
+    Evaluated entry;
+    entry.order = used_++;
+    entry.genome = g;
+    requested_.emplace(spec, std::move(entry));
+    if (computed_.count(spec) == 0) fresh.push_back(spec);
+  }
+  if (!fresh.empty()) compute(fresh);
+
+  // Pass 2: read every score out of the cache.
+  std::vector<double> out;
+  out.reserve(pop.size());
+  for (const AttackGenome& g : pop) {
+    const auto it = requested_.find(g.spec());
+    if (it == requested_.end()) {
+      out.push_back(kUnscored);
+      continue;
+    }
+    Evaluated& entry = it->second;
+    if (entry.groups.empty()) {
+      const Score& score = computed_.at(g.spec());
+      entry.fitness = score.fitness;
+      entry.groups = score.groups;
+    }
+    out.push_back(entry.fitness);
+  }
+  return out;
+}
+
+void Evaluator::compute(const std::vector<std::string>& specs) {
+  const exp::ExperimentSpec spec = base_spec(specs);
+  // Cell enumeration is healer-major (family x n are singletons):
+  // group index = healer * |specs| + spec.
+  const std::vector<std::string> groups = cfg_.fleet_agents > 0
+                                              ? run_fleet_grid(spec)
+                                              : run_grid(spec);
+  DASH_CHECK_MSG(groups.size() == cfg_.healers.size() * specs.size(),
+                 "hunt grid returned a wrong-shaped group list");
+  double batch_best = kUnscored;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    Score score;
+    for (std::size_t h = 0; h < cfg_.healers.size(); ++h) {
+      score.groups.push_back(groups[h * specs.size() + s]);
+    }
+    score.fitness = score_groups(score.groups);
+    batch_best = std::max(batch_best, score.fitness);
+    append_spool(specs[s], score);
+    computed_[specs[s]] = std::move(score);
+  }
+  if (cfg_.progress) {
+    cfg_.progress("evaluated " + std::to_string(specs.size()) +
+                  " candidates (" + std::to_string(used_) + "/" +
+                  std::to_string(cfg_.budget) + "), batch best " +
+                  util::CsvWriter::to_field(batch_best));
+  }
+}
+
+std::vector<std::string> Evaluator::run_grid(
+    const exp::ExperimentSpec& spec) {
+  exp::RunnerOptions opt;
+  opt.threads = cfg_.threads;
+  const std::vector<exp::CellResult> results = exp::run(spec, opt);
+  std::vector<std::string> groups;
+  groups.reserve(results.size());
+  for (const exp::CellResult& r : results) groups.push_back(r.group_json);
+  return groups;
+}
+
+std::vector<std::string> Evaluator::run_fleet_grid(
+    const exp::ExperimentSpec& spec) {
+  namespace fs = std::filesystem;
+  // Each batch gets a throwaway fleet spool (the hunt spool is the
+  // durable one); batches are sequential so the counter suffices.
+  const std::string base =
+      cfg_.state_dir.empty()
+          ? (fs::temp_directory_path() / "dash_hunt_fleet").string()
+          : cfg_.state_dir + "/fleet";
+  const std::string dir = base + "_batch" + std::to_string(fleet_batch_++);
+  fs::remove_all(dir);
+  fleet::CoordinatorOptions copt;
+  copt.state_dir = dir;
+  copt.progress = [](const std::string&) {};
+  fleet::Coordinator coord(spec, copt);
+  const std::string endpoint = coord.endpoint().spec();
+  std::vector<std::thread> agents;
+  agents.reserve(cfg_.fleet_agents);
+  for (std::size_t i = 0; i < cfg_.fleet_agents; ++i) {
+    agents.emplace_back([&spec, endpoint, i]() {
+      fleet::AgentOptions aopt;
+      aopt.connect = endpoint;
+      aopt.name = "hunt-agent-" + std::to_string(i);
+      aopt.threads = 1;
+      aopt.progress = [](const std::string&) {};
+      try {
+        fleet::run_agent(spec, aopt);
+      } catch (...) {
+        // A dying agent only slows the batch down; the coordinator
+        // reassigns its lease and the grid still completes.
+      }
+    });
+  }
+  fleet::FleetReport report;
+  try {
+    report = coord.run();
+  } catch (...) {
+    for (std::thread& t : agents) t.join();
+    throw;
+  }
+  for (std::thread& t : agents) t.join();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (!report.complete) {
+    throw std::runtime_error("hunt fleet batch did not complete");
+  }
+  // Peel the merged document -- byte-identical to a sequential run --
+  // back into its per-cell groups.
+  static const std::string kPrefix = "{\"groups\":[";
+  static const std::string kSuffix = "]}\n";
+  DASH_CHECK_MSG(report.document.size() >= kPrefix.size() + kSuffix.size() &&
+                     report.document.compare(0, kPrefix.size(), kPrefix) == 0,
+                 "malformed fleet BENCH document");
+  const std::string body = report.document.substr(
+      kPrefix.size(),
+      report.document.size() - kPrefix.size() - kSuffix.size());
+  return split_objects(body);
+}
+
+double Evaluator::score_groups(
+    const std::vector<std::string>& groups) const {
+  double sum = 0.0;
+  std::size_t runs = 0;
+  for (const std::string& group : groups) {
+    for (const std::string& run : split_objects(runs_body(group))) {
+      double v = 0.0;
+      if (fitness_.w_delta > 0.0) {
+        v += fitness_.w_delta * run_number(run, "max_delta");
+      }
+      if (fitness_.w_stretch > 0.0) {
+        v += fitness_.w_stretch * run_number(run, "max_stretch");
+      }
+      if (fitness_.w_disconnect > 0.0 && !run_stayed_connected(run)) {
+        v += fitness_.w_disconnect *
+             (1.0 + 1.0 / (1.0 + run_number(run, "deletions")));
+      }
+      sum += v;
+      ++runs;
+    }
+  }
+  return runs == 0 ? kUnscored : sum / static_cast<double>(runs);
+}
+
+std::vector<Evaluated> Evaluator::leaderboard(std::size_t k) const {
+  std::vector<Evaluated> all;
+  for (const auto& [spec, entry] : requested_) {
+    if (!entry.groups.empty()) all.push_back(entry);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Evaluated& a, const Evaluated& b) {
+              if (a.fitness != b.fitness) return a.fitness > b.fitness;
+              return a.order < b.order;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void Evaluator::load_spool() {
+  const std::string path = spool_path(cfg_.state_dir);
+  std::ifstream in(path);
+  if (!in) return;  // nothing to resume from: a fresh spool is fine
+  std::string line;
+  if (!std::getline(in, line)) return;
+  const std::string header = "dash-hunt-spool v1 " + config_hash();
+  if (line != header) {
+    throw std::invalid_argument(
+        "hunt spool " + path +
+        " was written by a different hunt config; refusing to resume");
+  }
+  while (std::getline(in, line)) {
+    // Resume contract (like shard files): a malformed *final* line --
+    // an interrupted write -- is dropped silently.
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 =
+        tab1 == std::string::npos ? tab1 : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;
+    const std::string spec = line.substr(0, tab1);
+    const std::string bits = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    if (bits.size() != 16) continue;
+    std::uint64_t raw = 0;
+    const auto [ptr, ec] =
+        std::from_chars(bits.data(), bits.data() + bits.size(), raw, 16);
+    if (ec != std::errc() || ptr != bits.data() + bits.size()) continue;
+    Score score;
+    score.fitness = std::bit_cast<double>(raw);
+    std::size_t begin = tab2 + 1;
+    while (begin <= line.size()) {
+      const std::size_t sep = line.find(kGroupSep, begin);
+      score.groups.push_back(line.substr(begin, sep - begin));
+      if (sep == std::string::npos) break;
+      begin = sep + 1;
+    }
+    if (score.groups.size() != cfg_.healers.size()) continue;
+    computed_[spec] = std::move(score);
+  }
+  in.close();
+  // Rewrite with only the lines that survived, so appends never land
+  // after a torn tail.
+  std::ofstream out(path, std::ios::trunc);
+  out << header << "\n";
+  for (const auto& [spec, score] : computed_) {
+    out << spec << '\t' << hex64(std::bit_cast<std::uint64_t>(score.fitness))
+        << '\t';
+    for (std::size_t i = 0; i < score.groups.size(); ++i) {
+      if (i) out << kGroupSep;
+      out << score.groups[i];
+    }
+    out << "\n";
+  }
+}
+
+void Evaluator::append_spool(const std::string& spec, const Score& score) {
+  if (!spool_.is_open()) return;
+  spool_ << spec << '\t'
+         << hex64(std::bit_cast<std::uint64_t>(score.fitness)) << '\t';
+  for (std::size_t i = 0; i < score.groups.size(); ++i) {
+    if (i) spool_ << kGroupSep;
+    spool_ << score.groups[i];
+  }
+  spool_ << "\n";
+  spool_.flush();
+}
+
+}  // namespace dash::hunt

@@ -1,0 +1,68 @@
+// mutation.h -- the shared hunt/fuzz mutation kit.
+//
+// Two layers, one file, because they express the same idea at two
+// granularities:
+//
+//   * Genome operators -- random_move / random_genome / mutate_genome /
+//     crossover -- edit hunt::AttackGenome values. Every operator keeps
+//     the result inside the strict genome grammar (GenomeLimits
+//     clamps), so a mutant always re-parses from its own spec. The
+//     greedy and evolutionary search strategies are built on these.
+//
+//   * Scenario-aware trace operators -- reorder_trace_phases /
+//     perturb_trace_churn -- edit recorded replay::Trace event streams
+//     *structurally*, using the phase-boundary markers the recorder
+//     stamps: whole phase segments are reordered, and churn density
+//     inside one segment is thinned or thickened. replay::fuzz_trace
+//     draws these alongside its event-level edits, which is what makes
+//     the fuzzer scenario-aware.
+//
+// All operators draw every coin from the caller's Rng: one seed, one
+// deterministic edit sequence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hunt/genome.h"
+#include "replay/trace.h"
+#include "util/rng.h"
+
+namespace dash::hunt {
+
+/// Attack specs hunted strike moves draw from (a concrete sample of
+/// the registry: degree ranks, randomized, delta-guided, and the
+/// observer-conditioned adaptive family).
+const std::vector<std::string>& strike_alphabet();
+
+/// One random move with parameters from small bounded grids.
+/// `allow_mix` gates kMix (mix arms are themselves random moves, so
+/// recursion stops at depth one).
+Move random_move(util::Rng& rng, bool allow_mix = true);
+
+/// 1..max_moves random moves.
+AttackGenome random_genome(util::Rng& rng, std::size_t max_moves = 6);
+
+/// One edit: replace / insert / delete / swap-adjacent / duplicate a
+/// move, or perturb one move's parameters in place.
+void mutate_genome(AttackGenome& genome, util::Rng& rng);
+
+/// One-point crossover at move boundaries: a prefix of `a` spliced to
+/// a suffix of `b`, clamped to GenomeLimits::max_moves.
+AttackGenome crossover(const AttackGenome& a, const AttackGenome& b,
+                       util::Rng& rng);
+
+// ---- scenario-aware trace mutations (shared with replay::fuzz_trace) ----
+
+/// Swap two whole phase segments (delimited by the trace's kPhase
+/// markers). Returns false -- trace untouched -- when the trace has
+/// fewer than two segments.
+bool reorder_trace_phases(replay::Trace& trace, util::Rng& rng);
+
+/// Perturb the churn rate inside one random phase segment: thin (drop)
+/// or thicken (duplicate) roughly a quarter of its join/remove events.
+/// Returns false when nothing changed.
+bool perturb_trace_churn(replay::Trace& trace, util::Rng& rng);
+
+}  // namespace dash::hunt

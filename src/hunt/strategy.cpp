@@ -1,0 +1,177 @@
+#include "hunt/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "hunt/mutation.h"
+
+namespace dash::hunt {
+
+namespace {
+
+// Budget is charged per *distinct* genome, so a strategy that keeps
+// proposing already-seen specs makes no progress. Every loop below
+// tracks consecutive zero-charge iterations and bails after a generous
+// cap -- in practice unreachable (the genome space is astronomically
+// large), but it turns a pathological stall into a clean return.
+constexpr std::size_t kStallCap = 1000;
+
+class RandomSearch final : public SearchStrategy {
+ public:
+  std::string name() const override { return "random"; }
+
+  void run(Evaluator& eval, util::Rng& rng) override {
+    std::size_t stall = 0;
+    while (!eval.exhausted() && stall < kStallCap) {
+      const std::size_t before = eval.evaluations();
+      eval.evaluate_one(random_genome(rng));
+      stall = eval.evaluations() == before ? stall + 1 : 0;
+    }
+  }
+};
+
+class GreedySearch final : public SearchStrategy {
+ public:
+  explicit GreedySearch(std::size_t neighbors) : neighbors_(neighbors) {}
+
+  std::string name() const override { return "greedy"; }
+
+  void run(Evaluator& eval, util::Rng& rng) override {
+    std::size_t stall = 0;
+    while (!eval.exhausted() && stall < kStallCap) {
+      const std::size_t start_evals = eval.evaluations();
+      AttackGenome current = random_genome(rng);
+      double best = eval.evaluate_one(current);
+      bool improving = true;
+      while (improving && !eval.exhausted()) {
+        improving = false;
+        std::vector<AttackGenome> hood;
+        hood.reserve(neighbors_);
+        for (std::size_t i = 0; i < neighbors_; ++i) {
+          AttackGenome candidate = current;
+          mutate_genome(candidate, rng);
+          hood.push_back(std::move(candidate));
+        }
+        const std::vector<double> fits = eval.evaluate(hood);
+        for (std::size_t i = 0; i < hood.size(); ++i) {
+          if (fits[i] > best) {
+            best = fits[i];
+            current = hood[i];
+            improving = true;
+          }
+        }
+      }
+      stall = eval.evaluations() == start_evals ? stall + 1 : 0;
+    }
+  }
+
+ private:
+  std::size_t neighbors_;
+};
+
+class EvolveSearch final : public SearchStrategy {
+ public:
+  explicit EvolveSearch(std::size_t population) : population_(population) {}
+
+  std::string name() const override { return "evolve"; }
+
+  void run(Evaluator& eval, util::Rng& rng) override {
+    std::vector<AttackGenome> pop;
+    pop.reserve(population_);
+    for (std::size_t i = 0; i < population_; ++i) {
+      pop.push_back(random_genome(rng));
+    }
+    std::vector<double> fit = eval.evaluate(pop);
+    std::size_t stall = 0;
+    while (!eval.exhausted() && stall < kStallCap) {
+      const std::size_t before = eval.evaluations();
+      // (fitness desc, index asc) ranking for elitism.
+      std::vector<std::size_t> order(population_);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&fit](std::size_t a, std::size_t b) {
+                         return fit[a] > fit[b];
+                       });
+      std::vector<AttackGenome> next;
+      next.reserve(population_);
+      next.push_back(pop[order[0]]);
+      next.push_back(pop[order[1]]);
+      const auto tournament = [&]() -> const AttackGenome& {
+        const auto a = static_cast<std::size_t>(rng.below(population_));
+        const auto b = static_cast<std::size_t>(rng.below(population_));
+        return fit[a] >= fit[b] ? pop[a] : pop[b];
+      };
+      while (next.size() < population_) {
+        AttackGenome child = rng.chance(0.5)
+                                 ? crossover(tournament(), tournament(), rng)
+                                 : tournament();
+        mutate_genome(child, rng);
+        next.push_back(std::move(child));
+      }
+      pop = std::move(next);
+      fit = eval.evaluate(pop);
+      stall = eval.evaluations() == before ? stall + 1 : 0;
+    }
+  }
+
+ private:
+  std::size_t population_;
+};
+
+}  // namespace
+
+util::Registry<SearchStrategy>& strategy_registry() {
+  static util::Registry<SearchStrategy>* registry = [] {
+    auto* r = new util::Registry<SearchStrategy>("hunt strategy");
+    r->add(
+        "random",
+        [](const std::string& param) -> std::unique_ptr<SearchStrategy> {
+          if (!param.empty()) {
+            throw std::invalid_argument(
+                "hunt strategy 'random' takes no parameter (got '" + param +
+                "')");
+          }
+          return std::make_unique<RandomSearch>();
+        },
+        {}, "random");
+    r->add(
+        "greedy",
+        [](const std::string& param) -> std::unique_ptr<SearchStrategy> {
+          std::size_t neighbors = 8;
+          if (!param.empty()) {
+            neighbors = util::parse_spec_uint("greedy", param, 64);
+            if (neighbors == 0) {
+              throw std::invalid_argument(
+                  "hunt strategy greedy wants >= 1 neighbor");
+            }
+          }
+          return std::make_unique<GreedySearch>(neighbors);
+        },
+        {"hillclimb"}, "greedy[:<neighbors>]");
+    r->add(
+        "evolve",
+        [](const std::string& param) -> std::unique_ptr<SearchStrategy> {
+          std::size_t population = 16;
+          if (!param.empty()) {
+            population = util::parse_spec_uint("evolve", param, 256);
+            if (population < 4) {
+              throw std::invalid_argument(
+                  "hunt strategy evolve wants a population >= 4");
+            }
+          }
+          return std::make_unique<EvolveSearch>(population);
+        },
+        {"ga", "evolutionary"}, "evolve[:<population>]");
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<SearchStrategy> make_search_strategy(
+    const std::string& spec) {
+  return strategy_registry().create(spec);
+}
+
+}  // namespace dash::hunt

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/factory.h"
+#include "hunt/mutation.h"
 #include "replay/play.h"
 #include "replay/shrink.h"
 
@@ -48,7 +49,7 @@ void apply_one_mutation(Trace& t, dash::util::Rng& rng) {
   auto& events = t.events;
   if (events.empty()) return;
   const std::size_t n = events.size();
-  switch (rng.below(8)) {
+  switch (rng.below(10)) {
     case 0: {  // drop one event
       events.erase(events.begin() +
                    static_cast<std::ptrdiff_t>(rng.below(n)));
@@ -116,6 +117,18 @@ void apply_one_mutation(Trace& t, dash::util::Rng& rng) {
     }
     case 7: {  // truncate the tail (the crash-at-any-point shape)
       events.resize(static_cast<std::size_t>(rng.below(n)) + 1);
+      break;
+    }
+    // Scenario-aware mutations from the shared hunt/fuzz kit: they
+    // edit whole phase segments (the kPhase markers the recorder
+    // stamps) instead of single events. No-ops on traces without
+    // enough phase structure.
+    case 8: {  // reorder two phase segments
+      dash::hunt::reorder_trace_phases(t, rng);
+      break;
+    }
+    case 9: {  // churn-rate perturbation inside one segment
+      dash::hunt::perturb_trace_churn(t, rng);
       break;
     }
   }

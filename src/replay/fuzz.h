@@ -23,9 +23,11 @@ namespace dash::replay {
 /// One random structural perturbation (1-3 point mutations): drop an
 /// event or a span, duplicate an event, swap neighbors, retarget a
 /// removal, merge adjacent removals into a batch, split a batch,
-/// truncate the tail, drop a phase marker. The mutant keeps the
-/// header/snapshot, loses the footer, and zeroes the (now stale) row
-/// digests; replay it leniently.
+/// truncate the tail, drop a phase marker -- plus the scenario-aware
+/// edits from the shared hunt/fuzz mutation kit (hunt/mutation.h):
+/// reordering whole phase segments and perturbing the churn density
+/// inside one segment. The mutant keeps the header/snapshot, loses the
+/// footer, and zeroes the (now stale) row digests; replay it leniently.
 Trace mutate_trace(const Trace& t, dash::util::Rng& rng);
 
 struct FuzzOptions {

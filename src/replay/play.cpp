@@ -113,6 +113,12 @@ ReplayResult play_trace(const Trace& t, const ReplayOptions& opt) {
           throw TraceError("event " + std::to_string(i) +
                            " join attaches to dead nodes");
         }
+        if (opt.lenient && attach.empty()) {
+          // Nobody left to attach to (mutated trace): a zero-edge join
+          // would disconnect any healer. Skip it, as TracePhase does.
+          ++result.skipped;
+          continue;
+        }
         const graph::NodeId joined = net.join(attach);
         if (!opt.lenient && joined != e.joined) {
           throw TraceError("event " + std::to_string(i) +

@@ -159,6 +159,85 @@ TEST(ScenarioParse, MalformedStructuresAreRejected) {
   EXPECT_THROW(Scenario::parse("floor:two"), std::invalid_argument);
 }
 
+// ---- join / ramp / mix (the hunt alphabet) ---------------------------
+
+TEST(ScenarioParse, JoinRampMixRoundTrip) {
+  // join: attach defaults to 2, count to 1.
+  EXPECT_EQ(Scenario::parse("join").spec(), "join:2x1");
+  EXPECT_EQ(Scenario::parse("join:4x15").spec(), "join:4x15");
+  // ramp: attach elided from the canonical form when it is the default.
+  EXPECT_EQ(Scenario::parse("ramp:0,0.5,1,0x10").spec(),
+            "ramp:0,0.5,1,0x10");
+  EXPECT_EQ(Scenario::parse("ramp:0.3,0.1,0.3,0.1,3x5").spec(),
+            "ramp:0.3,0.1,0.3,0.1,3x5");
+  EXPECT_EQ(Scenario::parse("ramp:0,0,1,1,2x8").spec(), "ramp:0,0,1,1x8");
+  // mix: weighted arms round-trip with their arm bodies canonicalized.
+  const std::string mix = "mix:2{strike:maxnodex1},1{churn:0.5,0.5x3}x4";
+  EXPECT_EQ(Scenario::parse(mix).spec(), mix);
+  EXPECT_EQ(Scenario::parse(Scenario::parse(mix).spec()).spec(), mix);
+}
+
+TEST(ScenarioParse, JoinRampMixRejectMalformed) {
+  EXPECT_THROW(Scenario::parse("join:0x3"), std::invalid_argument);
+  // ramp and mix both require an explicit xN event/draw count.
+  EXPECT_THROW(Scenario::parse("ramp:0,0.5,1,0"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("mix:1{strike:maxnodex1}"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("ramp:0,0.5x10"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("ramp:0,2,1,0x10"), std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("mix:0{strike:maxnodex1}x2"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse("mix:1{}x2"), std::invalid_argument);
+}
+
+TEST(ScenarioPlay, JoinGrowsTheNetwork) {
+  auto net = make_net(16, 9);
+  const auto m = net.play(Scenario::parse("join:3x10"), 9);
+  EXPECT_EQ(m.joins, 10u);
+  EXPECT_EQ(net.graph().num_alive(), 26u);
+}
+
+TEST(ScenarioPlay, RampWithFlatRatesMatchesChurn) {
+  // Equal start/end rates consume the same coin stream as the
+  // equivalent churn phase, event for event.
+  auto a = make_net(16, 10);
+  const auto ma = a.play(Scenario::parse("ramp:1,1,1,1x10"), 10);
+  auto b = make_net(16, 10);
+  const auto mb = b.play(Scenario::parse("churn:1,1x10"), 10);
+  EXPECT_EQ(ma.joins, mb.joins);
+  EXPECT_EQ(ma.deletions, mb.deletions);
+  EXPECT_EQ(ma.edges_added, mb.edges_added);
+}
+
+TEST(ScenarioPlay, RampInterpolatesRates) {
+  auto net = make_net(32, 11);
+  const auto m = net.play(Scenario::parse("ramp:0,0,1,1x21"), 11);
+  // Rates climb 0 -> 1: the first tick never fires, the last always
+  // does.
+  EXPECT_GT(m.joins, 0u);
+  EXPECT_GT(m.deletions, 0u);
+  EXPECT_LT(m.joins, 21u);
+}
+
+TEST(ScenarioPlay, MixSingleArmRunsEveryDraw) {
+  auto net = make_net(16, 12);
+  const auto m = net.play(Scenario::parse("mix:1{join:2x1}x6"), 12);
+  EXPECT_EQ(m.joins, 6u);
+}
+
+TEST(ScenarioPlay, MixDrawsAreSeedDeterministic) {
+  const auto spec =
+      Scenario::parse("mix:3{strike:maxnodex1},1{join:2x1}x8");
+  auto a = make_net(32, 13);
+  auto b = make_net(32, 13);
+  const auto ma = a.play(spec, 13);
+  const auto mb = b.play(spec, 13);
+  EXPECT_EQ(ma.deletions, mb.deletions);
+  EXPECT_EQ(ma.joins, mb.joins);
+  // Every draw runs exactly one single-event arm.
+  EXPECT_EQ(ma.deletions + ma.joins, 8u);
+}
+
 // ---- play semantics ---------------------------------------------------
 
 TEST(ScenarioPlay, StrikeDeletesExactlyCount) {

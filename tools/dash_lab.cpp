@@ -65,12 +65,14 @@
 #include "fleet/agent.h"
 #include "fleet/channel.h"
 #include "fleet/coordinator.h"
+#include "hunt/hunt.h"
 #include "replay/fuzz.h"
 #include "replay/play.h"
 #include "replay/recorder.h"
 #include "replay/shrink.h"
 #include "replay/trace.h"
 #include "util/cli.h"
+#include "util/csv.h"
 #include "util/registry.h"
 
 namespace {
@@ -121,6 +123,17 @@ struct LabOptions {
   std::uint64_t publish_every = 1;       ///< serve-bench --publish-every
   std::uint64_t distance_every = 16;     ///< serve-bench --distance-every
   bool verify = false;                   ///< serve-bench --verify
+  // hunt
+  std::string strategy = "evolve";       ///< hunt --strategy
+  std::string fitness = "delta";         ///< hunt --fitness
+  std::string trace_dir;                 ///< hunt --trace-dir
+  std::uint64_t budget = 200;            ///< hunt --budget
+  std::uint64_t top = 3;                 ///< hunt --top
+  std::uint64_t fleet = 0;               ///< hunt --fleet
+  std::uint64_t instances = 2;           ///< hunt --instances
+  std::uint64_t stretch_every = 0;       ///< hunt --stretch-every
+  // list-cells
+  bool cells_json = false;               ///< list-cells --json
 };
 
 int usage(std::FILE* to) {
@@ -128,7 +141,7 @@ int usage(std::FILE* to) {
       to,
       "usage: dash_lab "
       "<run|merge|list-cells|serve|agent|status|serve-bench|record|"
-      "replay|fuzz> [options]\n"
+      "replay|fuzz|hunt> [options]\n"
       "\n"
       "subcommands:\n"
       "  run         execute the grid: sequentially, as one shard\n"
@@ -158,6 +171,11 @@ int usage(std::FILE* to) {
       "  fuzz        mutate a golden trace and replay every mutant\n"
       "              against every healer; failing mutants shrink to\n"
       "              repro traces (exit 1 when any healer violated)\n"
+      "  hunt        search for worst-case attack schedules against a\n"
+      "              healer (or healer list): random / greedy / evolve\n"
+      "              over the genome grammar, scored by real runs;\n"
+      "              emits a HUNT_*.json leaderboard and the best-k\n"
+      "              schedules as replayable traces\n"
       "\n"
       "pass --help after a subcommand for its options\n");
   return to == stdout ? 0 : 2;
@@ -224,6 +242,38 @@ void emit_document(const LabOptions& opt, const std::string& doc) {
 int cmd_list_cells(const LabOptions& opt) {
   const ExperimentSpec spec = load_spec(opt);
   const auto cells = spec.enumerate();
+  if (opt.cells_json) {
+    // One-line machine-readable form for scripts and CI.
+    const auto esc = [](const std::string& s) {
+      std::string out;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+      return out;
+    };
+    std::cout << "{\"spec\":\"" << esc(spec.canonical()) << "\",\"hash\":\""
+              << esc(spec.hash()) << "\",\"cells\":[";
+    for (const Cell& cell : cells) {
+      if (cell.index) std::cout << ',';
+      std::cout << "{\"index\":" << cell.index << ",\"family\":\""
+                << esc(cell.family) << "\",\"n\":" << cell.n
+                << ",\"healer\":\"" << esc(cell.healer)
+                << "\",\"scenario\":\"" << esc(cell.scenario)
+                << "\",\"seed\":" << cell.seed
+                << ",\"instances\":" << cell.instances << "}";
+    }
+    std::cout << "]}\n";
+    return 0;
+  }
   std::cout << "spec: " << spec.canonical() << "\n"
             << "hash: " << spec.hash() << "\n"
             << "cells: " << cells.size() << "\n";
@@ -681,6 +731,63 @@ int cmd_fuzz(const LabOptions& opt) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_hunt(const LabOptions& opt) {
+  dash::hunt::HuntConfig cfg;
+  if (!opt.name.empty()) cfg.name = opt.name;
+  cfg.family = opt.family;
+  cfg.n = static_cast<std::size_t>(opt.n);
+  cfg.ba_edges = static_cast<std::size_t>(opt.ba_edges);
+  cfg.healers =
+      split_commas(opt.healers.empty() ? std::string("dash") : opt.healers);
+  cfg.instances = static_cast<std::size_t>(opt.instances);
+  cfg.seed = opt.seed;
+  cfg.stretch_every = static_cast<std::size_t>(opt.stretch_every);
+  cfg.fitness = opt.fitness;
+  cfg.strategy = opt.strategy;
+  cfg.budget = static_cast<std::size_t>(opt.budget);
+  cfg.top_k = static_cast<std::size_t>(opt.top);
+  cfg.threads = static_cast<std::size_t>(opt.threads);
+  cfg.fleet_agents = static_cast<std::size_t>(opt.fleet);
+  cfg.state_dir = opt.state_dir;
+  cfg.resume = opt.resume;
+  cfg.trace_dir = opt.trace_dir;
+  if (!opt.quiet) {
+    cfg.progress = [](const std::string& line) {
+      std::fprintf(stderr, "hunt: %s\n", line.c_str());
+    };
+  }
+
+  const dash::hunt::HuntResult result = dash::hunt::run_hunt(cfg);
+  if (result.best.empty()) {
+    std::fprintf(stderr, "hunt: no candidates scored\n");
+    return 1;
+  }
+  if (!opt.json.empty()) {
+    std::ofstream out(opt.json, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open --json path '" + opt.json +
+                               "'");
+    }
+    out << result.leaderboard_json;
+  }
+  // Parseable summary lines (the smoke tests grep these).
+  std::printf("evaluations: %zu\n", result.evaluations);
+  std::printf("best fitness=%s\n",
+              dash::util::CsvWriter::to_field(result.best.front().fitness)
+                  .c_str());
+  std::printf("best spec=%s\n",
+              result.best.front().genome.spec().c_str());
+  for (const dash::hunt::HuntBest& best : result.best) {
+    if (!best.trace_path.empty()) {
+      std::printf("trace: %s\n", best.trace_path.c_str());
+    }
+  }
+  const std::string board =
+      opt.json.empty() ? result.leaderboard_path : opt.json;
+  if (!board.empty()) std::printf("leaderboard: %s\n", board.c_str());
+  return 0;
+}
+
 int cmd_serve_bench(const LabOptions& opt) {
   dash::api::ServeBenchConfig cfg;
   cfg.n = static_cast<std::size_t>(opt.n);
@@ -728,7 +835,8 @@ int main(int argc, char** argv) {
   const bool fleet_cmd =
       cmd == "serve" || cmd == "agent" || cmd == "status";
   const bool bench_cmd = cmd == "serve-bench";
-  if (!grid_cmd && !trace_cmd && !fleet_cmd && !bench_cmd) {
+  const bool hunt_cmd = cmd == "hunt";
+  if (!grid_cmd && !trace_cmd && !fleet_cmd && !bench_cmd && !hunt_cmd) {
     std::fprintf(stderr, "dash_lab: unknown subcommand '%s'\n\n",
                  cmd.c_str());
     return usage(stderr);
@@ -820,7 +928,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "record") {
     opt.add_string("family", &lab.family,
-                   "graph family (ba, tree, gnp, ws, cycle)");
+                   "graph family (ba, tree, gnp, ws, cycle, line)");
     opt.add_uint("n", &lab.n, "initial graph size");
     opt.add_uint("ba-edges", &lab.ba_edges, "BA attachment edges");
     opt.add_string("healer", &lab.healer,
@@ -878,12 +986,58 @@ int main(int argc, char** argv) {
                    "stream per-round rows (async pipeline) to this CSV");
     opt.add_string("json", &lab.json, "write the report as JSON here");
   }
+  if (cmd == "hunt") {
+    lab.state_dir = "dash_hunt";
+    lab.threads = 0;
+    opt.add_string("name", &lab.name,
+                   "hunt name, used in artifact filenames (default hunt)");
+    opt.add_string("family", &lab.family,
+                   "graph family (ba, tree, gnp, ws, cycle, line)");
+    opt.add_uint("n", &lab.n, "initial graph size");
+    opt.add_uint("ba-edges", &lab.ba_edges, "BA attachment edges");
+    opt.add_string("healers", &lab.healers,
+                   "comma-separated healer specs the adversary is scored "
+                   "against (default dash)");
+    opt.add_uint("instances", &lab.instances,
+                 "paired-seed runs per candidate per healer");
+    opt.add_uint("seed", &lab.seed, "search + evaluation seed");
+    opt.add_string("strategy", &lab.strategy,
+                   "search strategy: random, greedy[:<neighbors>], "
+                   "evolve[:<population>]");
+    opt.add_string("fitness", &lab.fitness,
+                   "what to maximize: delta, stretch, disconnect, or "
+                   "combo:<wd>,<ws>,<wc>");
+    opt.add_uint("budget", &lab.budget,
+                 "distinct candidates to evaluate (hard cap)");
+    opt.add_uint("top", &lab.top, "leaderboard / trace emission depth");
+    opt.add_uint("stretch-every", &lab.stretch_every,
+                 "stretch sampling cadence (0 = auto when the fitness "
+                 "needs it)");
+    opt.add_uint("threads", &lab.threads,
+                 "suite threads for scoring (0 = hardware, 1 = "
+                 "sequential; same results either way)");
+    opt.add_uint("fleet", &lab.fleet,
+                 "score generations across N in-process fleet agents "
+                 "instead of the thread pool (same results)");
+    opt.add_string("state-dir", &lab.state_dir,
+                   "spool + artifact directory; --resume reuses its "
+                   "scores");
+    opt.add_flag("resume", &lab.resume,
+                 "warm-start from the state dir's evaluation spool");
+    opt.add_string("trace-dir", &lab.trace_dir,
+                   "write the best-k traces here (default: state dir)");
+    opt.add_string("json", &lab.json,
+                   "also write the HUNT_*.json leaderboard here");
+  }
   if (cmd == "run" || cmd == "merge" || cmd == "serve") {
     opt.add_string("json", &lab.json,
                    "write the merged BENCH_*.json here (default: stdout "
                    "for whole-grid runs)");
   }
-  if (cmd != "list-cells") {
+  if (cmd == "list-cells") {
+    opt.add_flag("json", &lab.cells_json,
+                 "print the enumeration as one line of JSON");
+  } else {
     opt.add_flag("quiet", &lab.quiet, "suppress progress on stderr");
   }
 
@@ -904,6 +1058,7 @@ int main(int argc, char** argv) {
     if (cmd == "record") return cmd_record(lab);
     if (cmd == "replay") return cmd_replay(lab);
     if (cmd == "fuzz") return cmd_fuzz(lab);
+    if (cmd == "hunt") return cmd_hunt(lab);
     return cmd_run(lab, argv[0]);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "dash_lab %s: %s\n", cmd.c_str(), e.what());
