@@ -1,0 +1,43 @@
+# million_baseline_smoke.cmake -- the landmark-estimator regression
+# guard, run as a ctest (`ctest -L bench-smoke`). Re-executes the
+# committed estimate-mode dash_lab grid and byte-compares the merged
+# BENCH document against BENCH_million_baseline.json at the repo root.
+# The document carries metrics only (no timings); max_stretch is the
+# estimator's conservative upper bound, so any diff means the landmark
+# selection, the bit-parallel wave, or the pair-bound arithmetic
+# changed behavior.
+#
+#   cmake -DDASH_LAB=<binary> -DWORK_DIR=<scratch> -DBASELINE=<json>
+#         -P million_baseline_smoke.cmake
+if(NOT DASH_LAB OR NOT WORK_DIR OR NOT BASELINE)
+  message(FATAL_ERROR
+          "need -DDASH_LAB=<binary> -DWORK_DIR=<dir> -DBASELINE=<json>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# The grid that produced BENCH_million_baseline.json: MaxNode attack to
+# 30% size with estimate-mode stretch sampling (16 landmarks, 128
+# pairs) over the two DASH variants.
+set(GRID "name=million_baseline n=512|1024 healer=dash|sdash scenario=untilfrac:0.3,maxnode stretch_every=8 stretch_estimate=1 stretch_landmarks=16 stretch_pairs=128 instances=2 seed=4242")
+
+execute_process(COMMAND ${DASH_LAB} run --grid ${GRID} --threads 1
+                        --quiet --json ${WORK_DIR}/million_rerun.json
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dash_lab million grid failed (${rc}):\n${err}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/million_rerun.json ${BASELINE}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "estimator metrics drifted: ${WORK_DIR}/million_rerun.json no "
+          "longer matches ${BASELINE}. If the change is intentional, "
+          "regenerate the baseline with:\n  dash_lab run --grid "
+          "\"${GRID}\" --threads 1 --quiet --json BENCH_million_baseline.json")
+endif()
+
+message(STATUS "million baseline bytes OK")

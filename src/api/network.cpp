@@ -243,7 +243,12 @@ std::vector<HealAction> Network::remove_batch(
     std::sort(survivors.begin(), survivors.end());
     survivors.erase(std::unique(survivors.begin(), survivors.end()),
                     survivors.end());
-    tracker_->batch_removed(batch, survivors);
+    // Batch rounds get the same per-cluster certificate single
+    // deletions do: when every survivor still shares one healing-forest
+    // component, the round cannot have split and the tracker skips the
+    // lazy re-scan entirely.
+    tracker_->batch_removed(batch, survivors,
+                            !survivors_reconnected(survivors));
   }
 
   engine_.deletions += batch.size();

@@ -88,7 +88,15 @@ void ComponentObserver::on_join(const Network& net, const JoinEvent&) {
 // ---- StretchObserver ------------------------------------------------
 
 void StretchObserver::on_attach(const Network& net) {
-  tracker_.emplace(net.graph());
+  if (opts_.estimate) {
+    estimator_.emplace(net.graph(),
+                       analysis::StretchEstimatorOptions{
+                           .landmarks = opts_.landmarks,
+                           .pairs = opts_.pairs,
+                           .seed = opts_.seed});
+  } else {
+    tracker_.emplace(net.graph());
+  }
 }
 
 void StretchObserver::on_join(const Network&, const JoinEvent&) {
@@ -107,11 +115,19 @@ void StretchObserver::on_round_end(const Network& net,
   // connectivity scan, and stretch is undefined on a disconnected
   // network anyway.
   if (!due || !ev.connected()) return;
-  const analysis::StretchStats stats =
-      pool_ != nullptr ? tracker_->stretch_stats(net.graph(), *pool_)
-                       : tracker_->stretch_stats(net.graph());
-  last_sample_ = stats.max;
-  last_average_ = stats.average;
+  if (opts_.estimate) {
+    last_estimate_ = estimator_->estimate(net.graph());
+    // Report the conservative (upper) side of the interval; the true
+    // max/average stretch of the sampled pairs is contained in it.
+    last_sample_ = last_estimate_.max_upper;
+    last_average_ = last_estimate_.avg_upper;
+  } else {
+    const analysis::StretchStats stats =
+        pool_ != nullptr ? tracker_->stretch_stats(net.graph(), *pool_)
+                         : tracker_->stretch_stats(net.graph());
+    last_sample_ = stats.max;
+    last_average_ = stats.average;
+  }
   max_stretch_ = std::max(max_stretch_, last_sample_);
   sampled_last_round_ = true;
 }

@@ -22,6 +22,7 @@
 
 #include "analysis/invariants.h"
 #include "analysis/stretch.h"
+#include "analysis/stretch_estimator.h"
 #include "api/network.h"
 #include "api/observer.h"
 
@@ -102,10 +103,26 @@ class ComponentObserver final : public Observer {
   std::size_t min_largest_ = std::numeric_limits<std::size_t>::max();
 };
 
+struct StretchObserverOptions {
+  /// Sample every k-th deletion round (0 is clamped to 1).
+  std::size_t sample_every = 1;
+  /// Landmark estimation instead of the exact tracker: O(landmarks*n)
+  /// memory in place of O(n^2), one 64-source wave per sample in place
+  /// of APSP -- the only mode that scales to million-node networks.
+  /// Samples then report the *upper* bound of the estimator's stretch
+  /// interval (the conservative side; the true value is contained).
+  bool estimate = false;
+  std::size_t landmarks = 16;  ///< estimate mode: landmark count (<= 64)
+  std::size_t pairs = 256;     ///< estimate mode: pairs per sample
+  std::uint64_t seed = 0x5eed; ///< estimate mode: pair-sampling seed
+};
+
 /// Samples the Section 4.6.1 stretch metric against the time-0 network
 /// every `sample_every`-th deletion (stretch costs O(n*m) per sample).
-/// `sample_every == 0` is clamped to 1. Needs O(n^2) baseline memory.
-/// Each sample is one single-pass analysis::StretchTracker::
+/// `sample_every == 0` is clamped to 1. Needs O(n^2) baseline memory
+/// in exact mode; estimate mode (StretchObserverOptions::estimate)
+/// swaps the tracker for analysis::StretchEstimator's landmark bounds.
+/// Each exact sample is one single-pass analysis::StretchTracker::
 /// stretch_stats() -- max and average together, never APSP twice.
 ///
 /// Stretch is only defined relative to the frozen time-0 distances, so
@@ -119,11 +136,18 @@ class StretchObserver final : public Observer {
   /// suite's own pool is safe -- parallel_for has the caller help, so
   /// a sample fired from a pool worker cannot deadlock -- but extra
   /// wall-clock wins only materialize when workers are otherwise idle;
-  /// fully loaded suites should leave this null.
+  /// fully loaded suites should leave this null. Estimate-mode samples
+  /// are single-threaded (one wave) and ignore the pool.
+  explicit StretchObserver(StretchObserverOptions opts,
+                           dash::util::ThreadPool* pool = nullptr)
+      : opts_(opts),
+        sample_every_(opts.sample_every == 0 ? 1 : opts.sample_every),
+        pool_(pool) {}
+
   explicit StretchObserver(std::size_t sample_every = 1,
                            dash::util::ThreadPool* pool = nullptr)
-      : sample_every_(sample_every == 0 ? 1 : sample_every),
-        pool_(pool) {}
+      : StretchObserver(
+            StretchObserverOptions{.sample_every = sample_every}, pool) {}
 
   std::string name() const override { return "stretch"; }
   void on_attach(const Network& net) override;
@@ -140,11 +164,21 @@ class StretchObserver final : public Observer {
   bool sampled_last_round() const { return sampled_last_round_; }
   /// False once a join froze sampling.
   bool active() const { return active_; }
+  /// True when samples are landmark estimates, not exact values.
+  bool estimating() const { return opts_.estimate; }
+  /// Full interval of the last estimate-mode sample (all-zero before
+  /// the first sample or in exact mode).
+  const analysis::StretchEstimate& last_estimate() const {
+    return last_estimate_;
+  }
 
  private:
+  StretchObserverOptions opts_;
   std::size_t sample_every_;
   dash::util::ThreadPool* pool_;
   std::optional<analysis::StretchTracker> tracker_;
+  std::optional<analysis::StretchEstimator> estimator_;
+  analysis::StretchEstimate last_estimate_;
   double max_stretch_ = 0.0;
   double last_sample_ = 0.0;
   double last_average_ = 0.0;

@@ -164,6 +164,9 @@ ServeBenchRound run_one(const ServeBenchConfig& cfg, std::size_t readers,
   round.readers = readers;
   round.secs = micros_between(t0, t1) / 1e6;
   round.final_epoch = serve.epoch();
+  round.full_publishes = serve.store().full_publishes();
+  round.patched_publishes = serve.store().patched_publishes();
+  round.touched_vertices = serve.store().touched_vertices();
   round.metrics = m;
   round.metrics_json = metrics_to_json(m);
 
@@ -206,7 +209,8 @@ ServeBenchReport run_serve_bench(const ServeBenchConfig& cfg) {
 
 void render_serve_table(const ServeBenchReport& report, std::ostream& out) {
   util::Table table({"readers", "reads", "reads/s", "p50_us", "p99_us",
-                     "p999_us", "epochs", "bfs_reads", "torn", "secs"});
+                     "p999_us", "epochs", "full_pub", "patched_pub",
+                     "patched_verts", "bfs_reads", "torn", "secs"});
   for (const ServeBenchRound& r : report.rounds) {
     table.begin_row()
         .cell(std::to_string(r.readers))
@@ -216,6 +220,9 @@ void render_serve_table(const ServeBenchReport& report, std::ostream& out) {
         .cell(r.p99_us, 2)
         .cell(r.p999_us, 2)
         .cell(std::to_string(r.final_epoch))
+        .cell(std::to_string(r.full_publishes))
+        .cell(std::to_string(r.patched_publishes))
+        .cell(std::to_string(r.touched_vertices))
         .cell(std::to_string(r.distance_reads))
         .cell(std::to_string(r.torn_reads))
         .cell(r.secs, 3);
@@ -251,6 +258,9 @@ void render_serve_json(const ServeBenchConfig& cfg,
         << ", \"p99_us\": " << field(r.p99_us)
         << ", \"p999_us\": " << field(r.p999_us)
         << ", \"epochs\": " << r.final_epoch
+        << ", \"full_publishes\": " << r.full_publishes
+        << ", \"patched_publishes\": " << r.patched_publishes
+        << ", \"touched_vertices\": " << r.touched_vertices
         << ", \"distance_reads\": " << r.distance_reads
         << ", \"torn_reads\": " << r.torn_reads
         << ", \"secs\": " << field(r.secs) << "}"

@@ -53,6 +53,12 @@ struct ServeBenchRound {
   double p50_us = 0.0;              ///< per-read latency quantiles
   double p99_us = 0.0;
   double p999_us = 0.0;
+  /// Publish-path split (graph::SnapshotStore telemetry): publishes
+  /// that paid a full CSR rebuild vs delta-patched a recycled
+  /// snapshot, and the vertices re-mirrored by the patched ones.
+  std::size_t full_publishes = 0;
+  std::size_t patched_publishes = 0;
+  std::size_t touched_vertices = 0;
   Metrics metrics;                  ///< the mutation side's result
   std::string metrics_json;         ///< canonical serialization of ^
 };

@@ -177,7 +177,8 @@ DeletionContext HealingState::begin_deletion(const Graph& g, NodeId v) {
   DASH_CHECK(g.alive(v));
   DeletionContext ctx;
   ctx.deleted = v;
-  ctx.neighbors_g = g.neighbors(v);
+  const auto nbrs = g.neighbors(v);
+  ctx.neighbors_g.assign(nbrs.begin(), nbrs.end());
   ctx.forest_neighbors = forest_adj_[v];
   ctx.component_id = component_id_[v];
   ctx.weight = weight_[v];

@@ -85,11 +85,16 @@ CellResult run_cell(
   cfg.scenario = api::Scenario::parse(cell.scenario);
   cfg.instances = cell.instances;
   cfg.base_seed = cell.seed;
+  api::StretchObserverOptions stretch_opts;
+  stretch_opts.sample_every = spec.stretch_every;
+  stretch_opts.estimate = cell.stretch_estimate;
+  stretch_opts.landmarks = cell.stretch_landmarks;
+  stretch_opts.pairs = cell.stretch_pairs;
   const std::size_t stretch_every = spec.stretch_every;
-  cfg.configure = [stretch_every, mode](api::Network& net) {
+  cfg.configure = [stretch_every, stretch_opts, mode](api::Network& net) {
     if (stretch_every > 0) {
       net.add_observer(
-          std::make_unique<api::StretchObserver>(stretch_every));
+          std::make_unique<api::StretchObserver>(stretch_opts));
     }
     net.set_connectivity_mode(mode);
   };

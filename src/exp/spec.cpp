@@ -109,6 +109,20 @@ void assign(ExperimentSpec* spec, std::vector<std::string>* seen,
   } else if (key == "stretch_every") {
     spec->stretch_every =
         static_cast<std::size_t>(parse_u64_value(key, value));
+  } else if (key == "stretch_estimate") {
+    const std::string v = require_scalar(key, value);
+    if (v != "0" && v != "1" && v != "true" && v != "false") {
+      throw std::invalid_argument(
+          "experiment stretch_estimate must be 0/1/true/false, got '" + v +
+          "'");
+    }
+    spec->stretch_estimate = v == "1" || v == "true";
+  } else if (key == "stretch_landmarks") {
+    spec->stretch_landmarks =
+        static_cast<std::size_t>(parse_u64_value(key, value));
+  } else if (key == "stretch_pairs") {
+    spec->stretch_pairs =
+        static_cast<std::size_t>(parse_u64_value(key, value));
   } else if (key == "connectivity") {
     spec->connectivity = require_scalar(key, value);
   } else if (key == "labels") {
@@ -117,7 +131,8 @@ void assign(ExperimentSpec* spec, std::vector<std::string>* seen,
     throw std::invalid_argument(
         "unknown experiment key '" + key +
         "' (known: name, family, n, healer, scenario, instances, seed, "
-        "ba_edges, stretch_every, connectivity, labels)");
+        "ba_edges, stretch_every, stretch_estimate, stretch_landmarks, "
+        "stretch_pairs, connectivity, labels)");
   }
 }
 
@@ -151,6 +166,7 @@ std::vector<std::pair<std::string, std::string>> Cell::labels(
   out.emplace_back("n", std::to_string(n));
   out.emplace_back("strategy", strategy_label);
   out.emplace_back("scenario", scenario);
+  if (stretch_estimate) out.emplace_back("estimate", "true");
   return out;
 }
 
@@ -259,6 +275,13 @@ void ExperimentSpec::validate() const {
     throw std::invalid_argument("unknown labels mode '" + labels +
                                 "' (display or spec)");
   }
+  if (stretch_landmarks == 0 || stretch_landmarks > 64) {
+    throw std::invalid_argument(
+        "experiment stretch_landmarks must be in [1, 64]");
+  }
+  if (stretch_pairs == 0) {
+    throw std::invalid_argument("experiment stretch_pairs must be >= 1");
+  }
 }
 
 // ---- identity --------------------------------------------------------------
@@ -277,8 +300,13 @@ std::string ExperimentSpec::canonical() const {
      << " n=" << joined(size_items) << " healer=" << joined(healers)
      << " scenario=" << joined(canonical_scenarios)
      << " instances=" << instances << " seed=" << seed
-     << " ba_edges=" << ba_edges << " stretch_every=" << stretch_every
-     << " connectivity=" << connectivity << " labels=" << labels;
+     << " ba_edges=" << ba_edges << " stretch_every=" << stretch_every;
+  // Estimator keys appear only when they deviate from the defaults, so
+  // every pre-existing spec's canonical text (and hash) is unchanged.
+  if (stretch_estimate) os << " stretch_estimate=1";
+  if (stretch_landmarks != 16) os << " stretch_landmarks=" << stretch_landmarks;
+  if (stretch_pairs != 256) os << " stretch_pairs=" << stretch_pairs;
+  os << " connectivity=" << connectivity << " labels=" << labels;
   return os.str();
 }
 
@@ -331,6 +359,9 @@ std::vector<Cell> ExperimentSpec::enumerate() const {
           cell.seed = seed ^ (static_cast<std::uint64_t>(n) *
                               kCellSeedGolden);
           cell.instances = instances;
+          cell.stretch_estimate = stretch_estimate;
+          cell.stretch_landmarks = stretch_landmarks;
+          cell.stretch_pairs = stretch_pairs;
           cells.push_back(std::move(cell));
         }
       }

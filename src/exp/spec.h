@@ -60,6 +60,11 @@ struct Cell {
   std::string scenario;   ///< canonical scenario spec
   std::uint64_t seed = 0; ///< api::SuiteConfig::base_seed for this cell
   std::size_t instances = 0;
+  /// Landmark-estimated stretch (spec key stretch_estimate) instead of
+  /// the exact O(n^2) tracker; cells then carry an "estimate" label.
+  bool stretch_estimate = false;
+  std::size_t stretch_landmarks = 16;
+  std::size_t stretch_pairs = 256;
 
   /// The labels of the cell's BENCH_*.json group, in emission order.
   /// The default family ("ba" as the only family in the grid) is
@@ -79,6 +84,14 @@ struct ExperimentSpec {
   std::uint64_t seed = 0xDA5Bu;
   std::size_t ba_edges = 2;       ///< BA attachment edges
   std::size_t stretch_every = 0;  ///< 0 = no StretchObserver
+  /// Landmark estimation instead of the exact stretch tracker -- the
+  /// only stretch mode that scales past a few thousand nodes. Samples
+  /// report the estimator's upper bound; cells gain an "estimate"
+  /// label. Defaults stay off canonical() so pre-existing spec hashes
+  /// are unchanged.
+  bool stretch_estimate = false;
+  std::size_t stretch_landmarks = 16;  ///< estimate mode: 1..64
+  std::size_t stretch_pairs = 256;     ///< estimate mode: pairs/sample
   /// Connectivity mode every cell's engines run under:
   /// tracker | bfs | verify.
   std::string connectivity = "tracker";

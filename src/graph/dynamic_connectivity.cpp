@@ -109,15 +109,17 @@ void DynamicConnectivity::node_removed(NodeId v,
 
 void DynamicConnectivity::batch_removed(
     const std::vector<NodeId>& members,
-    const std::vector<NodeId>& survivors) {
+    const std::vector<NodeId>& survivors, bool may_split) {
   bool member_was_seed = false;
   for (NodeId v : members) {
     drop_alive_member(v);
     member_was_seed |= is_seed_[v] != 0;
   }
-  if (survivors.size() >= 2) {
+  if (may_split && survivors.size() >= 2) {
     for (NodeId s : survivors) seed(s);
   } else if (member_was_seed && !survivors.empty()) {
+    // A certified batch keeps its piece whole, so one survivor can
+    // inherit the seed duty the dead members were carrying.
     seed(survivors.front());
   }
   for (NodeId v : members) is_seed_[v] = 0;

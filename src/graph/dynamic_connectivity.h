@@ -73,10 +73,15 @@ class DynamicConnectivity {
 
   /// Simultaneous multi-node deletion (the footnote-1 batch protocol):
   /// `survivors` is the union of the batch members' surviving neighbor
-  /// sets. Always treated as a split candidate when two or more
-  /// survivors exist.
+  /// sets. `may_split` = false is the caller's certificate that the
+  /// survivors are still mutually connected without the batch (same
+  /// forest argument as node_removed: truncate any survivor pair's old
+  /// path at the first batch member and route through the survivors'
+  /// shared component) -- the whole round then costs O(|members| *
+  /// alpha) with no re-scan. true seeds the lazy re-scan. With fewer
+  /// than two survivors the certificate is irrelevant.
   void batch_removed(const std::vector<NodeId>& members,
-                     const std::vector<NodeId>& survivors);
+                     const std::vector<NodeId>& survivors, bool may_split);
 
   // ---- queries (amortized: flush any pending re-scan first) -----------
 

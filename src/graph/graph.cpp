@@ -1,108 +1,227 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 
 #include "util/check.h"
 
 namespace dash::graph {
 
+namespace {
+std::uint64_t next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 Graph::Graph(std::size_t n)
-    : adjacency_(n), alive_(n, true), alive_count_(n) {}
+    : offset_(n, 0),
+      degree_(n, 0),
+      capacity_(n, 0),
+      alive_(n, true),
+      alive_count_(n),
+      uid_(next_uid()) {}
+
+Graph::Graph(const Graph& other)
+    : offset_(other.offset_),
+      degree_(other.degree_),
+      capacity_(other.capacity_),
+      slab_(other.slab_),
+      free_lists_(other.free_lists_),
+      free_entries_(other.free_entries_),
+      alive_(other.alive_),
+      alive_count_(other.alive_count_),
+      edge_count_(other.edge_count_),
+      generation_(other.generation_),
+      uid_(next_uid()),
+      touched_(other.touched_),
+      touched_base_(other.touched_base_),
+      view_(other.view_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  Graph copy(other);  // fresh uid
+  *this = std::move(copy);
+  return *this;
+}
 
 void Graph::check_alive(NodeId v) const {
-  DASH_CHECK_MSG(v < adjacency_.size(), "node id out of range");
+  DASH_CHECK_MSG(v < degree_.size(), "node id out of range");
   DASH_CHECK_MSG(alive_[v], "operation on deleted node");
 }
 
+void Graph::touch(NodeId v) {
+  // Compact by dropping the whole retained window once it outgrows ~2n:
+  // consumers further behind than that would take the full-rebuild
+  // fallback anyway, and the bound keeps log memory O(n) under
+  // unbounded churn.
+  if (touched_.size() >= std::max<std::size_t>(256, 2 * degree_.size())) {
+    touched_base_ += touched_.size();
+    touched_.clear();
+  }
+  touched_.push_back(v);
+}
+
 NodeId Graph::add_node() {
-  adjacency_.emplace_back();
+  offset_.push_back(0);
+  degree_.push_back(0);
+  capacity_.push_back(0);
   alive_.push_back(true);
   ++alive_count_;
   ++generation_;
-  return static_cast<NodeId>(adjacency_.size() - 1);
+  const NodeId v = static_cast<NodeId>(degree_.size() - 1);
+  touch(v);
+  return v;
 }
 
-namespace {
-/// Insert `x` into sorted vector `v` if absent; returns true on insert.
-bool sorted_insert(std::vector<NodeId>& v, NodeId x) {
-  auto it = std::lower_bound(v.begin(), v.end(), x);
-  if (it != v.end() && *it == x) return false;
-  v.insert(it, x);
+std::uint32_t Graph::alloc_block(std::uint32_t cap) {
+  const auto cls = static_cast<std::size_t>(std::countr_zero(cap));
+  if (cls < free_lists_.size() && !free_lists_[cls].empty()) {
+    const std::uint32_t offset = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    free_entries_ -= cap;
+    return offset;
+  }
+  const std::size_t offset = slab_.size();
+  DASH_CHECK_MSG(offset + cap <= 0xFFFFFFFFu, "neighbor slab overflow");
+  slab_.resize(offset + cap);
+  return static_cast<std::uint32_t>(offset);
+}
+
+void Graph::free_block(std::uint32_t offset, std::uint32_t cap) {
+  const auto cls = static_cast<std::size_t>(std::countr_zero(cap));
+  if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+  free_lists_[cls].push_back(offset);
+  free_entries_ += cap;
+}
+
+void Graph::regrow(NodeId v, std::uint32_t new_cap) {
+  const std::uint32_t old_off = offset_[v];
+  const std::uint32_t old_cap = capacity_[v];
+  const std::uint32_t new_off = alloc_block(new_cap);  // may move slab_
+  std::copy(slab_.begin() + old_off, slab_.begin() + old_off + degree_[v],
+            slab_.begin() + new_off);
+  if (old_cap != 0) free_block(old_off, old_cap);
+  offset_[v] = new_off;
+  capacity_[v] = new_cap;
+}
+
+bool Graph::block_insert(NodeId v, NodeId x) {
+  const std::uint32_t deg = degree_[v];
+  const NodeId* base = slab_.data() + offset_[v];
+  const std::uint32_t idx = static_cast<std::uint32_t>(
+      std::lower_bound(base, base + deg, x) - base);
+  if (idx < deg && base[idx] == x) return false;
+  if (deg == capacity_[v]) {
+    // Grow to the doubled block, copying around an insertion hole.
+    const std::uint32_t old_off = offset_[v];
+    const std::uint32_t old_cap = capacity_[v];
+    const std::uint32_t new_cap = old_cap == 0 ? 2 : old_cap * 2;
+    const std::uint32_t new_off = alloc_block(new_cap);  // may move slab_
+    NodeId* src = slab_.data() + old_off;
+    NodeId* dst = slab_.data() + new_off;
+    std::copy(src, src + idx, dst);
+    dst[idx] = x;
+    std::copy(src + idx, src + deg, dst + idx + 1);
+    if (old_cap != 0) free_block(old_off, old_cap);
+    offset_[v] = new_off;
+    capacity_[v] = new_cap;
+  } else {
+    NodeId* block = slab_.data() + offset_[v];
+    std::copy_backward(block + idx, block + deg, block + deg + 1);
+    block[idx] = x;
+  }
+  degree_[v] = deg + 1;
   return true;
 }
 
-/// Erase `x` from sorted vector `v` if present; returns true on erase.
-bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
-  auto it = std::lower_bound(v.begin(), v.end(), x);
-  if (it == v.end() || *it != x) return false;
-  v.erase(it);
+bool Graph::block_erase(NodeId v, NodeId x) {
+  const std::uint32_t deg = degree_[v];
+  NodeId* base = slab_.data() + offset_[v];
+  const std::uint32_t idx = static_cast<std::uint32_t>(
+      std::lower_bound(base, base + deg, x) - base);
+  if (idx == deg || base[idx] != x) return false;
+  std::copy(base + idx + 1, base + deg, base + idx);
+  degree_[v] = deg - 1;
   return true;
 }
-}  // namespace
 
 bool Graph::add_edge(NodeId a, NodeId b) {
   check_alive(a);
   check_alive(b);
   DASH_CHECK_MSG(a != b, "self-loops are not representable");
-  const bool inserted = sorted_insert(adjacency_[a], b);
-  if (!inserted) return false;
-  sorted_insert(adjacency_[b], a);
+  if (!block_insert(a, b)) return false;
+  block_insert(b, a);
   ++edge_count_;
   ++generation_;
+  touch(a);
+  touch(b);
   return true;
 }
 
 bool Graph::remove_edge(NodeId a, NodeId b) {
   check_alive(a);
   check_alive(b);
-  const bool removed = sorted_erase(adjacency_[a], b);
-  if (!removed) return false;
-  sorted_erase(adjacency_[b], a);
+  if (!block_erase(a, b)) return false;
+  block_erase(b, a);
   --edge_count_;
   ++generation_;
+  touch(a);
+  touch(b);
   return true;
 }
 
 bool Graph::has_edge(NodeId a, NodeId b) const {
-  DASH_CHECK(a < adjacency_.size() && b < adjacency_.size());
+  DASH_CHECK(a < degree_.size() && b < degree_.size());
   if (!alive_[a] || !alive_[b]) return false;
-  const auto& adj = adjacency_[a];
-  return std::binary_search(adj.begin(), adj.end(), b);
+  const NodeId* base = slab_.data() + offset_[a];
+  return std::binary_search(base, base + degree_[a], b);
 }
 
 std::vector<NodeId> Graph::delete_node(NodeId v) {
   check_alive(v);
-  std::vector<NodeId> former_neighbors = std::move(adjacency_[v]);
-  adjacency_[v].clear();
+  const NodeId* base = slab_.data() + offset_[v];
+  std::vector<NodeId> former_neighbors(base, base + degree_[v]);
   for (NodeId u : former_neighbors) {
-    sorted_erase(adjacency_[u], v);
+    block_erase(u, v);
+    touch(u);
   }
+  if (capacity_[v] != 0) {
+    free_block(offset_[v], capacity_[v]);
+    offset_[v] = 0;
+    capacity_[v] = 0;
+  }
+  degree_[v] = 0;
   edge_count_ -= former_neighbors.size();
   alive_[v] = false;
   --alive_count_;
   ++generation_;
+  touch(v);
   return former_neighbors;
 }
 
 void Graph::reserve_neighbors(NodeId v, std::size_t expected) {
   check_alive(v);
-  adjacency_[v].reserve(expected);
+  if (expected <= capacity_[v]) return;
+  const std::uint32_t new_cap = static_cast<std::uint32_t>(
+      std::bit_ceil(std::max<std::size_t>(expected, 2)));
+  regrow(v, new_cap);
+  // No generation bump (topology is unchanged), but the block moved, so
+  // delta-patching consumers must re-mirror v's descriptor.
+  touch(v);
 }
 
 const FlatView& Graph::flat_view() const {
-  if (!view_.matches(generation_)) view_.rebuild(*this);
+  if (!view_.matches(generation_)) view_.refresh(*this);
   return view_;
-}
-
-const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
-  check_alive(v);
-  return adjacency_[v];
 }
 
 std::vector<NodeId> Graph::alive_nodes() const {
   std::vector<NodeId> out;
   out.reserve(alive_count_);
-  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+  const NodeId n = static_cast<NodeId>(degree_.size());
+  for (NodeId v = 0; v < n; ++v) {
     if (alive_[v]) out.push_back(v);
   }
   return out;
@@ -110,9 +229,14 @@ std::vector<NodeId> Graph::alive_nodes() const {
 
 bool Graph::same_topology(const Graph& other) const {
   if (num_nodes() != other.num_nodes()) return false;
-  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+  const NodeId n = static_cast<NodeId>(degree_.size());
+  for (NodeId v = 0; v < n; ++v) {
     if (alive_[v] != other.alive_[v]) return false;
-    if (alive_[v] && adjacency_[v] != other.adjacency_[v]) return false;
+    if (!alive_[v]) continue;
+    if (degree_[v] != other.degree_[v]) return false;
+    const NodeId* mine = slab_.data() + offset_[v];
+    const NodeId* theirs = other.slab_.data() + other.offset_[v];
+    if (!std::equal(mine, mine + degree_[v], theirs)) return false;
   }
   return true;
 }

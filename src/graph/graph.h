@@ -10,11 +10,30 @@
 //     therefore the paper's delta(v) -- only grows for genuinely new
 //     edges);
 //   * adjacency iteration must be cheap and deterministic (sorted
-//     vectors, so identical seeds give identical runs).
+//     blocks, so identical seeds give identical runs).
+//
+// Storage is a slab/pool SoA layout rather than a vector of vectors:
+// every vertex owns one contiguous block {offset_, degree_, capacity_}
+// inside a single shared neighbor slab. Blocks have power-of-two
+// capacities, grow by doubling, and are recycled through per-class free
+// lists when a node dies or outgrows its block -- so a million-node
+// graph is three flat arrays plus one slab instead of a million heap
+// allocations, and iterating a neighborhood is one contiguous span.
+// Insertion keeps each block sorted (memmove within the block), so
+// iteration order -- and every byte downstream of it -- is identical to
+// the historical sorted-vector layout.
+//
+// Every mutation also appends the vertices it touched to a bounded
+// *touched log* (monotone sequence numbers, prefix-compacted when it
+// outgrows its cap). Snapshot consumers (graph/flat_view.h) remember
+// the log position they last synced at and patch only the touched
+// vertices instead of re-walking O(n + m) state; a consumer whose
+// position fell behind the compacted prefix simply rebuilds in full.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/flat_view.h"
@@ -27,8 +46,17 @@ class Graph {
   /// Create n isolated, alive nodes with ids 0..n-1.
   explicit Graph(std::size_t n = 0);
 
+  /// Copies duplicate the topology but are *distinct instances*: the
+  /// copy draws a fresh uid(), so snapshot consumers synced to the
+  /// original never delta-patch against the copy's (independently
+  /// mutating) touched log.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
   /// Number of node ids ever allocated (alive + deleted).
-  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_nodes() const { return degree_.size(); }
   /// Number of currently alive nodes.
   std::size_t num_alive() const { return alive_count_; }
   /// Number of edges between alive nodes.
@@ -53,15 +81,24 @@ class Graph {
   /// Returns v's neighbor set at the moment of deletion (sorted).
   std::vector<NodeId> delete_node(NodeId v);
 
-  /// Sorted adjacency list of an alive node.
-  const std::vector<NodeId>& neighbors(NodeId v) const;
+  /// Sorted adjacency of an alive node: a view into the node's slab
+  /// block, valid until the next mutation of the graph (any mutation
+  /// may move or recycle blocks). Callers that need the list across a
+  /// mutation must copy it first.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    check_alive(v);
+    return {slab_.data() + offset_[v], degree_[v]};
+  }
 
-  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+  std::size_t degree(NodeId v) const {
+    check_alive(v);
+    return degree_[v];
+  }
 
-  /// Pre-size v's adjacency vector for `expected` neighbors. Capacity
-  /// only -- topology, degree, and the generation are untouched.
-  /// Generators with known degree structure (Barabasi-Albert adds m
-  /// edges per node) use this to skip incremental reallocation.
+  /// Pre-size v's slab block for `expected` neighbors. Capacity only --
+  /// topology, degree, and the generation are untouched. Generators
+  /// with known degree structure (Barabasi-Albert adds m edges per
+  /// node) use this to skip incremental block doubling.
   void reserve_neighbors(NodeId v, std::size_t expected);
 
   /// All alive node ids, ascending. Allocates per call; traversal-heavy
@@ -73,24 +110,82 @@ class Graph {
   /// it.
   std::uint64_t generation() const { return generation_; }
 
-  /// The graph's cached CSR snapshot, rebuilt lazily when stale --
-  /// every traversal between two mutations shares one rebuild. The
-  /// returned view is valid until the next mutation. Not synchronized:
-  /// concurrent readers must ensure freshness (call this once) before
-  /// sharing the view across threads.
+  /// The graph's cached CSR snapshot, refreshed lazily when stale --
+  /// every traversal between two mutations shares one refresh, and a
+  /// refresh patches only the touched vertices when the touched log
+  /// allows it. The returned view is valid until the next mutation.
+  /// Not synchronized: concurrent readers must ensure freshness (call
+  /// this once) before sharing the view across threads.
   const FlatView& flat_view() const;
 
   /// Structural equality on the alive subgraph (same alive set + edges).
   bool same_topology(const Graph& other) const;
 
- private:
-  void check_alive(NodeId v) const;
+  // ---- delta-snapshot interface (see graph/flat_view.h) --------------
 
-  std::vector<std::vector<NodeId>> adjacency_;
+  /// Process-unique instance id; fresh per constructed/copied graph,
+  /// stolen by moves. Snapshot consumers patch only against the
+  /// instance they were built from.
+  std::uint64_t uid() const { return uid_; }
+
+  /// Sequence number of the oldest retained touched-log entry.
+  std::uint64_t touched_begin() const { return touched_base_; }
+  /// Sequence number one past the newest touched-log entry.
+  std::uint64_t touched_end() const {
+    return touched_base_ + touched_.size();
+  }
+  /// Retained touched vertices (entry i has sequence touched_begin()+i;
+  /// duplicates are expected, consumers dedupe).
+  const std::vector<NodeId>& touched_log() const { return touched_; }
+
+  // ---- slab introspection (tests, telemetry) --------------------------
+
+  /// Total slab entries (live blocks + recycled free blocks).
+  std::size_t slab_size() const { return slab_.size(); }
+  /// Entries currently parked on the per-class free lists.
+  std::size_t slab_free_entries() const { return free_entries_; }
+
+ private:
+  friend class FlatView;
+
+  void check_alive(NodeId v) const;
+  void touch(NodeId v);
+  /// Pop a block of `cap` (power of two) entries from the free list or
+  /// extend the slab. Returns the block's offset.
+  std::uint32_t alloc_block(std::uint32_t cap);
+  void free_block(std::uint32_t offset, std::uint32_t cap);
+  /// Move v's block to one of capacity `new_cap`, preserving contents.
+  void regrow(NodeId v, std::uint32_t new_cap);
+  /// Insert x into v's sorted block (growing it if full); returns true
+  /// on insert, false if already present.
+  bool block_insert(NodeId v, NodeId x);
+  /// Erase x from v's sorted block; returns true if it was present.
+  bool block_erase(NodeId v, NodeId x);
+
+  // SoA per-vertex block descriptors into the shared slab. capacity_ is
+  // 0 (no block yet) or a power of two >= 2.
+  std::vector<std::uint32_t> offset_;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::uint32_t> capacity_;
+  std::vector<NodeId> slab_;
+  /// Free blocks per power-of-two class: free_lists_[k] holds offsets
+  /// of recycled blocks with capacity 1<<k (LIFO, so reuse is
+  /// deterministic and cache-warm).
+  std::vector<std::vector<std::uint32_t>> free_lists_;
+  std::size_t free_entries_ = 0;
+
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
   std::size_t edge_count_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t uid_ = 0;
+
+  /// Touched-vertex log: compacted (prefix dropped, base advanced) when
+  /// it outgrows ~2n entries, which forces lagging consumers into the
+  /// full-rebuild path they would want anyway.
+  std::vector<NodeId> touched_;
+  std::uint64_t touched_base_ = 0;
+
   mutable FlatView view_;  ///< lazy CSR cache, stamped by generation_
 };
 

@@ -16,7 +16,8 @@ NonIndex::NonIndex(const Graph& g)
     : direct_(g.num_nodes()), two_hop_count_(g.num_nodes()) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!g.alive(v)) continue;
-    direct_[v] = g.neighbors(v);
+    const auto nbrs = g.neighbors(v);
+    direct_[v].assign(nbrs.begin(), nbrs.end());
   }
   // Count 2-hop paths x - y - z for every middle node y.
   for (NodeId y = 0; y < g.num_nodes(); ++y) {

@@ -57,7 +57,18 @@ std::uint64_t SnapshotStore::publish(const Graph& g) {
 
   const std::uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
   next->epoch_ = e;
-  next->view_.rebuild(g);
+  // Recycled snapshot buffers still carry the CSR of the epoch they last
+  // published, so refresh() patches forward from that state instead of
+  // paying a full O(n + slab) rebuild every publish.
+  const std::size_t fulls_before = next->view_.full_rebuilds();
+  const std::size_t touched_before = next->view_.vertices_patched();
+  next->view_.refresh(g);
+  if (next->view_.full_rebuilds() != fulls_before) {
+    ++full_publishes_;
+  } else {
+    ++patched_publishes_;
+    touched_vertices_ += next->view_.vertices_patched() - touched_before;
+  }
   connected_components(next->view_, scratch_, next->comps_);
 
   // Publication order matters: snapshot pointer first, epoch second

@@ -131,6 +131,16 @@ class SnapshotStore {
   /// Registered reader slots (including recycled-but-idle ones).
   std::size_t reader_slots() const;
 
+  // ---- publish telemetry (mutation thread only) ----------------------
+
+  /// Publishes that paid a full O(n + slab) CSR rebuild (first use of a
+  /// snapshot buffer, or churn past FlatView::kPatchFractionLimit).
+  std::size_t full_publishes() const { return full_publishes_; }
+  /// Publishes that delta-patched a recycled snapshot's CSR forward.
+  std::size_t patched_publishes() const { return patched_publishes_; }
+  /// Distinct vertices re-mirrored across all patched publishes.
+  std::size_t touched_vertices() const { return touched_vertices_; }
+
  private:
   struct Slot {
     std::atomic<std::uint64_t> pinned{kNoEpoch};
@@ -148,6 +158,9 @@ class SnapshotStore {
   /// snapshot and the scratch used for publish-time labelling.
   std::unique_ptr<Snapshot> current_owned_;
   TraversalScratch scratch_;
+  std::size_t full_publishes_ = 0;
+  std::size_t patched_publishes_ = 0;
+  std::size_t touched_vertices_ = 0;
 
   /// Guards slots_/retired_/free_ -- registration and reclamation only,
   /// never the read path.

@@ -211,9 +211,47 @@ TEST(DynamicConnectivity, BatchRemovalSeedsAllSurvivors) {
   const std::vector<NodeId> batch{1, 3};
   std::vector<NodeId> survivors{0, 2, 4};  // union of batch neighbors
   for (NodeId v : batch) g.delete_node(v);
-  dc.batch_removed(batch, survivors);
+  dc.batch_removed(batch, survivors, /*may_split=*/true);
   EXPECT_EQ(dc.component_count(), 3u);
   EXPECT_EQ(dc.largest_component(), 1u);
+}
+
+TEST(DynamicConnectivity, CertifiedBatchSkipsRescan) {
+  // Cycle 0-1-2-3-4-5-0: batch-deleting adjacent {1,2} leaves the path
+  // 3-4-5-0, which stays connected -- a certifiable batch round.
+  Graph g = path_graph(6);
+  g.add_edge(0, 5);
+  DynamicConnectivity dc(g);
+  dc.edge_added(0, 5);
+  const std::vector<NodeId> batch{1, 2};
+  for (NodeId v : batch) g.delete_node(v);
+  const std::vector<NodeId> survivors{0, 3};
+  dc.batch_removed(batch, survivors, /*may_split=*/false);
+  EXPECT_FALSE(dc.rescan_pending());
+  EXPECT_TRUE(dc.connected());
+  EXPECT_EQ(dc.rebuilds(), 0u);
+  EXPECT_EQ(dc.component_size(0), 4u);
+}
+
+TEST(DynamicConnectivity, CertifiedBatchOfSeedsHandsDutyToSurvivor) {
+  // Cycle 0-1-2-3-4-0. Cutting {1,2} seeds 1 and 2 (the tracker cannot
+  // see the cycle still holds). Batch-deleting {1,2} leaves 0-4-3 with
+  // survivors {0,3} mutually connected -- a valid certificate -- but
+  // the dead members carried pending seed duty, so a survivor must
+  // inherit it and the flush must re-scan the remnant correctly.
+  Graph g = path_graph(5);
+  g.add_edge(0, 4);
+  DynamicConnectivity dc(g);
+  dc.edge_added(0, 4);
+  g.remove_edge(1, 2);
+  dc.edge_removed(1, 2);
+  const std::vector<NodeId> batch{1, 2};
+  for (NodeId v : batch) g.delete_node(v);
+  dc.batch_removed(batch, {0, 3}, /*may_split=*/false);
+  EXPECT_TRUE(dc.rescan_pending());
+  EXPECT_TRUE(dc.connected());
+  EXPECT_EQ(dc.component_count(), 1u);
+  EXPECT_EQ(dc.component_size(0), 3u);
 }
 
 TEST(DynamicConnectivity, QueriesOnDeadNodesAbort) {

@@ -1,0 +1,154 @@
+// Slab/pool layout mechanics of graph::Graph: block growth and
+// recycling, the touched log, copy/uid semantics, and a randomized
+// differential against a naive reference model -- the behavioral
+// contract the historical vector-of-vectors layout set.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dash::graph {
+namespace {
+
+std::vector<NodeId> nbrs_of(const Graph& g, NodeId v) {
+  const auto span = g.neighbors(v);
+  return {span.begin(), span.end()};
+}
+
+TEST(SlabGraph, BlocksDoubleAndStaySorted) {
+  Graph g(20);
+  // Descending inserts exercise the insertion hole at index 0 through
+  // several doublings (cap 2 -> 4 -> 8 -> 16).
+  for (NodeId u = 10; u >= 1; --u) g.add_edge(0, u);
+  std::vector<NodeId> want;
+  for (NodeId u = 1; u <= 10; ++u) want.push_back(u);
+  EXPECT_EQ(nbrs_of(g, 0), want);
+  EXPECT_EQ(g.degree(0), 10u);
+}
+
+TEST(SlabGraph, DeleteRecyclesBlocksAndReusesThem) {
+  Graph g(10);
+  for (NodeId u = 1; u <= 8; ++u) g.add_edge(0, u);
+  const std::size_t grown = g.slab_size();
+  EXPECT_EQ(g.slab_free_entries(),
+            grown - (8 /*node 0*/ + 8 * 2 /*leaves' cap-2 blocks*/));
+  const std::size_t free_before = g.slab_free_entries();
+  g.delete_node(0);
+  // Node 0's cap-8 block is back on the free lists; the surviving
+  // leaves keep their (now empty) cap-2 blocks. Nothing shrank.
+  EXPECT_EQ(g.slab_size(), grown);
+  EXPECT_EQ(g.slab_free_entries(), free_before + 8);
+  // A new hub rebuilt to the same shape must reuse recycled blocks
+  // instead of extending the slab.
+  for (NodeId u = 2; u <= 8; ++u) g.add_edge(1, u);
+  EXPECT_EQ(g.slab_size(), grown);
+}
+
+TEST(SlabGraph, ReserveNeighborsSkipsDoublingWithoutTopologyChange) {
+  Graph g(5);
+  const std::uint64_t gen = g.generation();
+  g.reserve_neighbors(0, 8);
+  EXPECT_EQ(g.generation(), gen);  // capacity only, no topology change
+  const std::size_t grown = g.slab_size();
+  for (NodeId u = 1; u <= 4; ++u) g.add_edge(0, u);
+  EXPECT_EQ(g.slab_size(), grown + 4 * 2);  // only the leaves allocated
+  EXPECT_EQ(nbrs_of(g, 0), (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(SlabGraph, TouchedLogAdvancesAndCompacts) {
+  Graph g(4);
+  const std::uint64_t end0 = g.touched_end();
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.touched_end(), end0 + 2);  // both endpoints logged
+  EXPECT_LE(g.touched_end() - g.touched_begin(), g.touched_log().size());
+  // Force compaction: the retained window is capped at max(256, 2n).
+  for (int i = 0; i < 200; ++i) {
+    g.add_edge(2, 3);
+    g.remove_edge(2, 3);
+  }
+  EXPECT_GT(g.touched_begin(), 0u);
+  EXPECT_LE(g.touched_log().size(), 256u);
+  EXPECT_EQ(g.touched_end() - g.touched_begin(), g.touched_log().size());
+}
+
+TEST(SlabGraph, CopiesGetFreshUidsAndIndependentState) {
+  Graph a(4);
+  a.add_edge(0, 1);
+  Graph b(a);
+  EXPECT_NE(a.uid(), b.uid());
+  EXPECT_TRUE(a.same_topology(b));
+  b.add_edge(2, 3);
+  EXPECT_FALSE(a.same_topology(b));
+  EXPECT_FALSE(a.has_edge(2, 3));
+
+  Graph c(1);
+  c = a;
+  EXPECT_NE(c.uid(), a.uid());
+  EXPECT_TRUE(c.same_topology(a));
+}
+
+TEST(SlabGraph, RandomizedDifferentialAgainstSetModel) {
+  util::Rng rng(0x51ab);
+  Graph g(24);
+  std::vector<std::set<NodeId>> model(24);
+  std::vector<bool> alive(24, true);
+  std::size_t edges = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto op = rng.below(100);
+    if (op < 45) {  // add_edge
+      const NodeId a = static_cast<NodeId>(rng.below(model.size()));
+      const NodeId b = static_cast<NodeId>(rng.below(model.size()));
+      if (a == b || !alive[a] || !alive[b]) continue;
+      const bool fresh = g.add_edge(a, b);
+      EXPECT_EQ(fresh, model[a].insert(b).second);
+      model[b].insert(a);
+      if (fresh) ++edges;
+    } else if (op < 70) {  // remove_edge
+      const NodeId a = static_cast<NodeId>(rng.below(model.size()));
+      const NodeId b = static_cast<NodeId>(rng.below(model.size()));
+      if (a == b || !alive[a] || !alive[b]) continue;
+      const bool had = g.remove_edge(a, b);
+      EXPECT_EQ(had, model[a].erase(b) > 0);
+      model[b].erase(a);
+      if (had) --edges;
+    } else if (op < 85) {  // delete_node
+      const NodeId v = static_cast<NodeId>(rng.below(model.size()));
+      if (!alive[v]) continue;
+      const auto survivors = g.delete_node(v);
+      EXPECT_EQ(survivors,
+                std::vector<NodeId>(model[v].begin(), model[v].end()));
+      for (const NodeId u : model[v]) model[u].erase(v);
+      edges -= model[v].size();
+      model[v].clear();
+      alive[v] = false;
+    } else if (op < 95) {  // add_node
+      const NodeId v = g.add_node();
+      EXPECT_EQ(v, model.size());
+      model.emplace_back();
+      alive.push_back(true);
+    } else {  // reserve_neighbors
+      const NodeId v = static_cast<NodeId>(rng.below(model.size()));
+      if (!alive[v]) continue;
+      g.reserve_neighbors(v, 1 + rng.below(16));
+    }
+
+    if (step % 97 == 0) {  // full cross-check, amortized
+      ASSERT_EQ(g.num_edges(), edges);
+      for (NodeId v = 0; v < model.size(); ++v) {
+        ASSERT_EQ(g.alive(v), static_cast<bool>(alive[v]));
+        if (!alive[v]) continue;
+        ASSERT_EQ(nbrs_of(g, v),
+                  std::vector<NodeId>(model[v].begin(), model[v].end()))
+            << "node " << v << " at step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dash::graph

@@ -1,0 +1,174 @@
+// Delta-patched FlatView refreshes must be indistinguishable from full
+// rebuilds: same alive set, same degrees, same packed neighbor bytes at
+// the same offsets, same edge-entry count -- across every scenario
+// phase type, under sequential and pooled suites, across touched-log
+// compaction (epoch wrap) and slab-block recycling.
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/network.h"
+#include "api/observer.h"
+#include "api/suite.h"
+#include "graph/flat_view.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dash::graph {
+namespace {
+
+/// Compare an incrementally refreshed view against a from-scratch
+/// rebuild of the same graph. Live content must match exactly (the
+/// mirrors share the slab layout, so matching spans are matching
+/// bytes); gap regions behind freed blocks are unobservable.
+void expect_patched_equals_full(const FlatView& patched, const Graph& g) {
+  FlatView full;
+  full.rebuild(g);
+  ASSERT_EQ(patched.num_nodes(), full.num_nodes());
+  ASSERT_EQ(patched.num_alive(), full.num_alive());
+  ASSERT_EQ(patched.num_edge_entries(), full.num_edge_entries());
+  ASSERT_EQ(patched.alive_nodes(), full.alive_nodes());
+  for (NodeId v = 0; v < full.num_nodes(); ++v) {
+    ASSERT_EQ(patched.degree(v), full.degree(v)) << "node " << v;
+    const auto a = patched.neighbors(v);
+    const auto b = full.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "node " << v;
+  }
+}
+
+/// Observer that drags a persistent FlatView through every round via
+/// refresh() -- the delta path whenever the log allows -- and checks it
+/// against a full rebuild each time.
+class PatchCheckObserver final : public api::Observer {
+ public:
+  std::string name() const override { return "patch-check"; }
+  void on_attach(const api::Network& net) override {
+    view_.refresh(net.graph());
+    expect_patched_equals_full(view_, net.graph());
+  }
+  void on_round_end(const api::Network& net,
+                    const api::RoundEvent&) override {
+    view_.refresh(net.graph());
+    expect_patched_equals_full(view_, net.graph());
+  }
+  void on_join(const api::Network& net, const api::JoinEvent&) override {
+    view_.refresh(net.graph());
+    expect_patched_equals_full(view_, net.graph());
+  }
+  void on_finish(const api::Network&, api::Metrics&) override {
+    // The whole point is exercising the cheap path; a suite where every
+    // refresh fell back to rebuild() would test nothing.
+    EXPECT_GT(view_.patched_refreshes(), 0u);
+  }
+
+ private:
+  FlatView view_;
+};
+
+api::SuiteConfig checked_suite(std::size_t n, const std::string& scenario,
+                               std::uint64_t seed) {
+  api::SuiteConfig cfg;
+  cfg.make_graph = [n](util::Rng& rng) {
+    return barabasi_albert(n, 2, rng);
+  };
+  cfg.make_healer = api::healer_factory("dash");
+  cfg.scenario = api::Scenario::parse(scenario);
+  cfg.instances = 3;
+  cfg.base_seed = seed;
+  cfg.configure = [](api::Network& net) {
+    net.add_observer(std::make_unique<PatchCheckObserver>());
+  };
+  return cfg;
+}
+
+class FlatViewPatchScenario
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FlatViewPatchScenario, SequentialSuiteMatchesFullRebuilds) {
+  (void)api::run_suite(checked_suite(96, GetParam(), 0xF1A7));
+}
+
+TEST_P(FlatViewPatchScenario, PooledSuiteMatchesFullRebuilds) {
+  util::ThreadPool pool(3);
+  (void)api::run_suite(checked_suite(96, GetParam(), 0xF1A7), pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhaseTypes, FlatViewPatchScenario,
+    ::testing::Values("strike:maxnodex20",          // single deletions
+                      "batch:6x5",                  // simultaneous batches
+                      "churn:0.3,0.1x60",           // join/leave churn
+                      "join:2x12",                  // organic growth
+                      "untilfrac:0.5,maxnode"),     // fraction-driven attack
+    [](const auto& info) {
+      std::string name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(FlatViewPatch, SurvivesLogCompactionEpochWrap) {
+  // A tiny graph caps the retained log window at 256 entries; hammer
+  // far past it between refreshes so the view's position falls behind
+  // the compacted prefix and refresh() must take the rebuild fallback.
+  Graph g(8);
+  for (NodeId v = 1; v < 8; ++v) g.add_edge(0, v);
+  FlatView view;
+  view.refresh(g);
+  util::Rng rng(0xEC0);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 300; ++i) {  // > window cap per round
+      const NodeId a = static_cast<NodeId>(1 + rng.below(7));
+      const NodeId b = static_cast<NodeId>(1 + rng.below(7));
+      if (a == b) continue;
+      if (g.has_edge(a, b)) {
+        g.remove_edge(a, b);
+      } else {
+        g.add_edge(a, b);
+      }
+    }
+    view.refresh(g);
+    expect_patched_equals_full(view, g);
+  }
+  EXPECT_GT(view.full_rebuilds(), 1u);  // the fallback actually fired
+}
+
+TEST(FlatViewPatch, SurvivesSlabBlockRecycling) {
+  // Deletions recycle blocks; later growth reuses them at the same
+  // offsets for different vertices. Patch refreshes after each step
+  // must keep re-mirroring the reused regions correctly.
+  Graph g(48);
+  util::Rng rng(0x5AB);
+  for (NodeId v = 1; v < 48; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.below(v)));
+  }
+  FlatView view;
+  view.refresh(g);
+  std::vector<NodeId> alive = g.alive_nodes();
+  for (int step = 0; step < 120; ++step) {
+    if (step % 3 == 0 && alive.size() > 8) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(alive.size()));
+      g.delete_node(alive[i]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const NodeId a = alive[static_cast<std::size_t>(rng.below(alive.size()))];
+      const NodeId b = alive[static_cast<std::size_t>(rng.below(alive.size()))];
+      if (a != b) g.add_edge(a, b);
+    }
+    view.refresh(g);
+    expect_patched_equals_full(view, g);
+  }
+  EXPECT_GT(g.slab_free_entries(), 0u);
+  EXPECT_GT(view.patched_refreshes(), 0u);
+}
+
+}  // namespace
+}  // namespace dash::graph

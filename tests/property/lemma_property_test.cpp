@@ -179,7 +179,8 @@ TEST(Lemma10, AcyclicHealingGainsDMinus2OnTrees) {
     const auto alive = g.alive_nodes();
     const NodeId v =
         alive[static_cast<std::size_t>(pick.below(alive.size()))];
-    const auto nbrs = g.neighbors(v);
+    const std::vector<NodeId> nbrs(g.neighbors(v).begin(),
+                                   g.neighbors(v).end());
     const std::size_t d = nbrs.size();
     std::size_t deg_before = 0;
     for (NodeId u : nbrs) deg_before += g.degree(u);
@@ -219,7 +220,8 @@ TEST(Lemma11, SomeNeighborGainsDegree) {
       }
     }
     if (victim == graph::kInvalidNode) break;
-    const auto nbrs = g.neighbors(victim);
+    const std::vector<NodeId> nbrs(g.neighbors(victim).begin(),
+                                   g.neighbors(victim).end());
     std::vector<std::int32_t> delta_before;
     for (NodeId u : nbrs) delta_before.push_back(st.delta(u));
 
